@@ -1,0 +1,75 @@
+"""Ablation: minimal cell size per metric and drain-ladder depth.
+
+The paper's flow "iteratively increases the number of FeFETs within a
+cell"; this bench maps the feasibility frontier the CSP discovers —
+how many FeFETs each 2-bit metric needs as a function of how many Vds
+levels the drain selector offers.
+"""
+
+from repro.core.dm import DistanceMatrix
+from repro.core.feasibility import find_min_cell
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+CASES = [
+    ("hamming", (1,)),
+    ("hamming", (1, 2)),
+    ("manhattan", (1,)),
+    ("manhattan", (1, 2)),
+    ("manhattan", (1, 2, 3)),
+    ("euclidean", (1, 2, 3, 4, 5)),
+    ("euclidean", tuple(range(1, 10))),
+]
+
+
+def sweep_cells():
+    rows = []
+    for metric, cr in CASES:
+        dm = DistanceMatrix.from_metric(metric, 2)
+        result = find_min_cell(dm, cr, max_k=6)
+        rows.append(
+            (
+                metric,
+                len(cr),
+                result.k if result.feasible else None,
+            )
+        )
+    return rows
+
+
+def test_ablation_cell_size(benchmark):
+    rows = benchmark.pedantic(sweep_cells, rounds=1, iterations=1)
+
+    table = [
+        [metric, n_levels, k if k is not None else "infeasible (K<=6)"]
+        for metric, n_levels, k in table_source(rows)
+    ]
+    text = format_table(
+        ["metric (2-bit)", "Vds levels", "minimal K"],
+        table,
+        title="Ablation: cell size vs drain-ladder depth",
+    )
+    save_artifact("ablation_cell_size", text)
+
+    outcome = {
+        (metric, n_levels): k for metric, n_levels, k in rows
+    }
+    # The paper's Table II point.
+    assert outcome[("hamming", 2)] == 3
+    # Single drain level costs an extra FeFET for Hamming.
+    assert outcome[("hamming", 1)] == 4
+    # Deeper ladders compress Manhattan cells monotonically.
+    man = [
+        outcome[("manhattan", n)]
+        for n in (1, 2, 3)
+        if outcome[("manhattan", n)] is not None
+    ]
+    assert all(a >= b for a, b in zip(man, man[1:]))
+    # Euclidean needs deep ladders; 9 levels reach K=4.
+    assert outcome[("euclidean", 9)] == 4
+
+
+def table_source(rows):
+    return rows

@@ -1,0 +1,51 @@
+"""Ablation: what multi-level Vds buys — cell area vs selector rails.
+
+FeReX's drain-voltage selector is the hardware cost of multi-level
+currents; this bench quantifies the trade for the hardest 2-bit metric
+(squared Euclidean): each added rail shrinks or enables the cell.
+"""
+
+from repro.core.dm import DistanceMatrix
+from repro.core.feasibility import check_feasibility
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+def sweep_vds():
+    dm = DistanceMatrix.from_metric("euclidean", 2)
+    outcomes = []
+    for levels in (1, 2, 3, 4, 5, 9):
+        cr = tuple(range(1, levels + 1))
+        found = None
+        for k in range(2, 7):
+            if check_feasibility(dm, k, cr).feasible:
+                found = k
+                break
+        outcomes.append((levels, found))
+    return outcomes
+
+
+def test_ablation_vds_levels(benchmark):
+    outcomes = benchmark.pedantic(sweep_vds, rounds=1, iterations=1)
+
+    table = [
+        [levels, k if k is not None else "infeasible (K<=6)"]
+        for levels, k in outcomes
+    ]
+    text = format_table(
+        ["Vds levels", "minimal K (euclidean, 2-bit)"],
+        table,
+        title="Ablation: drain-ladder depth vs Euclidean cell size",
+    )
+    save_artifact("ablation_vds_levels", text)
+
+    by_levels = dict(outcomes)
+    # Squared distances (0,1,4,9) cannot decompose into <=6 unit
+    # currents: 9 > 6.
+    assert by_levels[1] is None
+    # Deep ladders make the cell as small as 4.
+    assert by_levels[9] == 4
+    # More rails never hurt.
+    feasible_ks = [k for _, k in outcomes if k is not None]
+    assert all(a >= b for a, b in zip(feasible_ks, feasible_ks[1:]))

@@ -1,0 +1,72 @@
+"""Extension: array area vs cell design.
+
+The paper motivates its cell-size search with hardware cost; this bench
+prices the metric-dependent cell designs (K FeFETs per element, drain
+rail count) in silicon area at 45 nm, and shows the periphery
+amortisation that larger arrays enjoy.
+"""
+
+import dataclasses
+
+from repro.arch.area import AreaModel
+from repro.devices.tech import TechConfig
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+CELLS = [
+    ("hamming (2b, CSP)", 3, 2),
+    ("manhattan (2b, CSP)", 3, 3),
+    ("euclidean (2b, CSP)", 4, 5),
+    ("euclidean (2b, constructive)", 6, 5),
+    ("best-match (2b)", 2, 1),
+]
+ROWS, DIMS = 128, 64
+
+
+def sweep_area():
+    outcomes = []
+    base = TechConfig()
+    for label, k, rails in CELLS:
+        tech = dataclasses.replace(
+            base,
+            cell=dataclasses.replace(base.cell, max_vds_multiple=rails),
+        )
+        breakdown = AreaModel(ROWS, DIMS * k, tech).breakdown()
+        outcomes.append((label, k, rails, breakdown))
+    return outcomes
+
+
+def test_ext_area(benchmark):
+    outcomes = benchmark(sweep_area)
+
+    table = [
+        [
+            label,
+            k,
+            rails,
+            f"{b.total * 1e12:.0f} um^2",
+            f"{b.core_fraction * 100:.0f}%",
+        ]
+        for label, k, rails, b in outcomes
+    ]
+    text = format_table(
+        ["cell design", "K", "Vds rails", "array area", "core share"],
+        table,
+        title=f"Extension: area of a {ROWS}x{DIMS}-element FeReX array",
+    )
+    save_artifact("ext_area", text)
+
+    by_label = {label: b for label, _, _, b in outcomes}
+    # Smaller cells are strictly cheaper.
+    assert (
+        by_label["best-match (2b)"].total
+        < by_label["hamming (2b, CSP)"].total
+        < by_label["euclidean (2b, constructive)"].total
+    )
+    # The CSP's euclidean cell (K=4) beats the constructive one (K=6).
+    assert (
+        by_label["euclidean (2b, CSP)"].total
+        < by_label["euclidean (2b, constructive)"].total
+    )

@@ -1,0 +1,90 @@
+"""Fig. 6: search energy per bit and delay vs array size.
+
+(a) energy per bit falls as rows grow (LTA/peripheral amortisation) and
+    varies with the number of dimensions;
+(b) total delay grows gradually with array scale, with ScL settling the
+    dominant share (~60 % at the design point).
+"""
+
+import numpy as np
+
+from repro.arch.energy import EnergyModel
+from repro.arch.timing import TimingModel
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+ROWS_SWEEP = (16, 32, 64, 128, 256, 512)
+DIMS_SWEEP = (16, 32, 64, 128)
+K = 3  # FeFETs per cell (2-bit Hamming cell)
+BITS = 2
+
+
+def sweep_energy_delay():
+    rows_series = []
+    for rows in ROWS_SWEEP:
+        for dims in DIMS_SWEEP:
+            cols = dims * K
+            energy_model = EnergyModel(rows, cols)
+            timing_model = TimingModel(rows, cols)
+            unit = energy_model.tech.cell.unit_current
+            # Typical activity: ~30 % of max distance per row.
+            currents = np.full(rows, 0.3 * dims * BITS * unit)
+            multiples = np.ones(cols, dtype=int)
+            timing = timing_model.search_timing()
+            breakdown = energy_model.search_energy(
+                currents, multiples, timing
+            )
+            rows_series.append(
+                (
+                    rows,
+                    dims,
+                    energy_model.energy_per_bit(breakdown, dims, BITS),
+                    timing.total,
+                    timing.scl_fraction,
+                )
+            )
+    return rows_series
+
+
+def test_fig6_energy_and_delay(benchmark):
+    series = benchmark(sweep_energy_delay)
+
+    table = [
+        [
+            rows,
+            dims,
+            f"{epb * 1e15:.2f} fJ/bit",
+            f"{delay * 1e9:.1f} ns",
+            f"{frac * 100:.0f}%",
+        ]
+        for rows, dims, epb, delay, frac in series
+    ]
+    text = format_table(
+        ["rows", "dims", "energy/bit", "search delay", "ScL share"],
+        table,
+        title="Fig. 6: energy per bit (a) and delay (b) vs array size",
+    )
+    save_artifact("fig6_energy_delay", text)
+
+    by_dims = {}
+    for rows, dims, epb, delay, frac in series:
+        by_dims.setdefault(dims, []).append((rows, epb, delay, frac))
+
+    for dims, points in by_dims.items():
+        energies = [p[1] for p in points]
+        delays = [p[2] for p in points]
+        # (a) energy/bit monotonically falls with rows.
+        assert all(
+            a > b for a, b in zip(energies, energies[1:])
+        ), f"energy/bit not falling for dims={dims}"
+        # (b) delay grows, but gradually (32x rows < 4x delay).
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+        assert delays[-1] / delays[0] < 4.0
+
+    # ~60 % ScL share at the design point (64 rows x 64 dims).
+    design = next(
+        p for p in series if p[0] == 64 and p[1] == 64
+    )
+    assert 0.45 < design[4] < 0.8

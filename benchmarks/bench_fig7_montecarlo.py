@@ -1,0 +1,95 @@
+"""Fig. 7: Monte Carlo robustness under device-to-device variation.
+
+100-run MC with sigma_Vth = 54 mV and sigma_R = 8 % (paper Sec. IV-A):
+search accuracy for stored vectors at Hamming distances (d, d+1) from
+the query.  The paper's worst case — distances 5 vs 6 — must stay at
+or above ~90 %, and end-to-end KNN accuracy must degrade well under a
+point relative to software.
+"""
+
+import numpy as np
+
+from repro.apps.datasets import make_mnist, quantize_features
+from repro.eval.montecarlo import MonteCarloKNNAccuracy, MonteCarloSearch
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+PAIRS = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+
+
+def test_fig7_search_accuracy(benchmark, scale_cfg):
+    mc = MonteCarloSearch(
+        dims=scale_cfg["mc_dims"],
+        bits=2,
+        n_far=scale_cfg["mc_far"],
+        n_runs=scale_cfg["mc_runs"],
+        seed0=0,
+    )
+
+    # Benchmark one full MC pair; regenerate the whole sweep once.
+    benchmark.pedantic(
+        lambda: mc.run_pair(5, 6), rounds=1, iterations=1
+    )
+    results = mc.sweep(PAIRS)
+
+    table = [
+        [f"{r.d_near} vs {r.d_far}", r.n_runs, f"{r.accuracy * 100:.0f}%"]
+        for r in results
+    ]
+    text = format_table(
+        ["Hamming distances", "MC runs", "search accuracy"],
+        table,
+        title=(
+            "Fig. 7: Monte Carlo search accuracy "
+            "(sigma_Vth=54mV, sigma_R=8%)"
+        ),
+    )
+    save_artifact("fig7_montecarlo", text)
+
+    accuracies = [r.accuracy for r in results]
+    # Worst case (5 vs 6) >= ~90 % as the paper reports.
+    assert accuracies[-1] >= 0.88
+    # The easy cases are essentially perfect.
+    assert accuracies[0] >= 0.99
+    # Monotone-ish degradation: worst case is the largest pair.
+    assert min(accuracies[:-1]) >= accuracies[-1] - 0.02
+
+
+def test_fig7_knn_degradation(benchmark, scale_cfg):
+    """Paper: 'only a 0.6% accuracy degradation compared to the
+    software-based implementation' for KNN on MNIST."""
+    ds = make_mnist(
+        train_size=scale_cfg["knn_train"],
+        test_size=scale_cfg["knn_test"],
+        seed=17,
+    )
+    train_q = quantize_features(ds.train_x, 2)
+    test_q = quantize_features(ds.test_x, 2)
+
+    mc = MonteCarloKNNAccuracy(metric="manhattan", bits=2, k=1, seed=23)
+    result = benchmark.pedantic(
+        lambda: mc.compare(train_q, ds.train_y, test_q, ds.test_y),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = format_table(
+        ["backend", "accuracy"],
+        [
+            ["software (exact)", f"{result.software_accuracy * 100:.1f}%"],
+            ["FeReX (with variation)", f"{result.hardware_accuracy * 100:.1f}%"],
+            ["degradation", f"{result.degradation * 100:.2f}pp"],
+            ["prediction agreement", f"{result.prediction_agreement * 100:.1f}%"],
+        ],
+        title="Fig. 7 (inset): end-to-end KNN accuracy, software vs FeReX",
+    )
+    save_artifact("fig7_knn_degradation", text)
+
+    # Variation may flip only near-tie decisions: predictions must agree
+    # on nearly every query, and the accuracy delta stays small (the
+    # paper reports 0.6 pp at full MNIST scale; small test sets add
+    # sampling noise, hence the looser band here).
+    assert result.prediction_agreement >= 0.85
+    assert abs(result.degradation) <= 0.08

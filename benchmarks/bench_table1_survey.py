@@ -1,0 +1,76 @@
+"""Table I: AM design survey — FeReX supports HD / L1 / L2 on one design.
+
+The published table contrasts prior AMs (each fixed to one distance
+function) with FeReX's reconfigurability.  The reproducible claim is the
+FeReX row: a single 1FeFET1R cell family, via the CSP encoder, realises
+all three metrics.  This bench proves it constructively and prints the
+survey with the regenerated FeReX row.
+"""
+
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import best_encoding, encode_cell
+from repro.core.feasibility import find_min_cell
+from repro.core.constructive import constructive_cell
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact
+
+
+#: Static rows of Table I (from the paper, for context).
+PRIOR_ART = [
+    ["Nat. Ele. [23]", "PCM", "1PCM", "No", "Hamming"],
+    ["IEDM'20 [24]", "FeFET", "2FeFET-1T", "Yes", "Best-match"],
+    ["TED'21 [14]", "RRAM", "2RRAM", "Yes", "Manhattan"],
+    ["TC'21 [18]", "FeFET", "2FeFET", "Yes", "Sigmoid"],
+    ["SR'22 [15]", "FeFET", "2FeFET", "Yes", "Euclidean"],
+]
+
+
+def prove_reconfigurability():
+    """Solve a feasible cell for each metric at 2 bits."""
+    outcomes = {}
+    for metric, cr in (
+        ("hamming", (1, 2)),
+        ("manhattan", (1, 2, 3)),
+        ("euclidean", (1, 2, 3, 4, 5)),
+    ):
+        dm = DistanceMatrix.from_metric(metric, 2)
+        result = find_min_cell(dm, cr, max_k=6)
+        if result.feasible:
+            enc = best_encoding(
+                dm, result.k, cr, metric, 2, search_limit=500
+            )
+            if enc is None:  # pragma: no cover - defensive
+                enc = encode_cell(result.solution, metric, 2)
+        else:  # pragma: no cover - fallback for robustness
+            enc = encode_cell(constructive_cell(metric, 2), metric, 2)
+        outcomes[metric] = enc
+    return outcomes
+
+
+def test_table1_survey(benchmark):
+    outcomes = benchmark(prove_reconfigurability)
+
+    supported = "/".join(
+        {"hamming": "HD", "manhattan": "L1", "euclidean": "L2"}[m]
+        for m in ("hamming", "manhattan", "euclidean")
+        if m in outcomes
+    )
+    rows = PRIOR_ART + [
+        ["FeReX (this repro)", "FeFET", "1FeFET-1R", "Yes", supported]
+    ]
+    text = format_table(
+        ["Design", "NVM", "Cell structure", "MLC", "Distance function"],
+        rows,
+        title="Table I: existing AMs vs FeReX (FeReX row regenerated)",
+    )
+    detail = "\n".join(
+        f"  {m}: K={e.k}, ladder={e.n_ladder_levels} levels, "
+        f"Vds multiples up to {e.max_vds_multiple}"
+        for m, e in outcomes.items()
+    )
+    save_artifact(
+        "table1_survey", text + "\n\nper-metric 2-bit cells:\n" + detail
+    )
+
+    assert set(outcomes) == {"hamming", "manhattan", "euclidean"}

@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table rows or figure series)
+and both prints it and saves it under ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference the exact reproduced numbers.
+
+Scale control: set ``FEREX_BENCH_SCALE=full`` to run paper-sized
+workloads (Table III split sizes, 100-run Monte Carlo, 4k hypervectors).
+The default "ci" scale finishes the whole suite in a few minutes.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """'ci' (default, minutes) or 'full' (paper-sized, hours)."""
+    return os.environ.get("FEREX_BENCH_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def scale_cfg(bench_scale):
+    """Workload sizes per scale."""
+    if bench_scale == "full":
+        return {
+            "mc_runs": 100,
+            "mc_dims": 64,
+            "mc_far": 15,
+            "hdc_dim": 4096,
+            "hdc_epochs": 5,
+            "train_size": None,  # dataset defaults = Table III
+            "test_size": None,
+            "knn_train": 512,
+            "knn_test": 128,
+        }
+    return {
+        "mc_runs": 100,
+        "mc_dims": 64,
+        "mc_far": 15,
+        "hdc_dim": 1024,
+        "hdc_epochs": 3,
+        "train_size": 1200,
+        "test_size": 300,
+        "knn_train": 160,
+        "knn_test": 40,
+    }

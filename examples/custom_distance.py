@@ -1,0 +1,76 @@
+"""Mapping a *custom* distance function onto FeReX with the CSP pipeline.
+
+The paper's encoding algorithm is not limited to the three published
+metrics: any integer distance table can be posed to Algorithm 1.  This
+example defines an asymmetric "deletion-biased" edit-style distance
+(mismatches toward zero cost double), checks feasibility across cell
+sizes, derives the voltage encoding, and validates it on the simulated
+array.
+
+Run:  python examples/custom_distance.py
+"""
+
+import numpy as np
+
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import best_encoding
+from repro.core.feasibility import find_min_cell
+from repro.core.distance import DistanceMetric, register_metric
+from repro.arch.crossbar import FeReXArray
+from repro.devices.tech import TechConfig, FeFETParams
+import dataclasses
+
+
+def deletion_biased(search: int, stored: int, bits: int) -> int:
+    """|s - t|, doubled when the stored value is larger than the query
+    (losing stored signal is penalised more than gaining)."""
+    diff = abs(search - stored)
+    return 2 * diff if stored > search else diff
+
+
+register_metric(DistanceMetric("deletion-biased", deletion_biased))
+
+dm = DistanceMatrix.from_metric("deletion-biased", bits=2)
+print(dm.describe())
+print("symmetric:", dm.is_symmetric())
+
+# Pose the DM to Algorithm 1.
+result = find_min_cell(dm, current_range=(1, 2, 3), max_k=6)
+print(f"\nminimal cell: K={result.k} (feasible={result.feasible})")
+
+encoding = best_encoding(
+    dm, result.k, (1, 2, 3), metric_name="deletion-biased", bits=2
+)
+print(
+    f"ladder: {encoding.n_ladder_levels} levels, "
+    f"Vds multiples up to {encoding.max_vds_multiple}\n"
+)
+print(encoding.describe())
+
+# Validate the encoding on the analog array: store each value in a row.
+params = FeFETParams(n_vth_levels=encoding.n_ladder_levels)
+base = TechConfig()
+tech = dataclasses.replace(
+    base,
+    fefet=params,
+    cell=dataclasses.replace(
+        base.cell,
+        max_vds_multiple=max(
+            encoding.max_vds_multiple, base.cell.max_vds_multiple
+        ),
+    ),
+)
+array = FeReXArray(rows=4, physical_cols=encoding.k, tech=tech)
+array.program_matrix(
+    np.array([encoding.store_levels_for(v) for v in range(4)])
+)
+
+print("\nanalog round-trip (rows = stored values):")
+for q in range(4):
+    volts, mults = encoding.search_voltages_for(q, params)
+    reading = array.search(list(volts), list(mults)).row_units
+    print(f"  query {q}: hardware {np.round(reading, 2)}  "
+          f"target {dm.row(q)}")
+    assert np.allclose(reading, dm.row(q), atol=0.05)
+print("\ncustom distance matrix realised exactly — reconfigurability "
+      "extends beyond the three published metrics.")

@@ -1,0 +1,6 @@
+"""Thin setup shim so legacy (non-PEP517) editable installs work in offline
+environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

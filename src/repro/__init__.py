@@ -1,0 +1,23 @@
+"""repro — a reproduction of FeReX (DATE 2024).
+
+FeReX is a reconfigurable multi-bit ferroelectric compute-in-memory
+associative memory for nearest-neighbor search.  This package implements
+the full stack from the paper:
+
+* :mod:`repro.devices` — Preisach FeFET and 1FeFET1R device physics;
+* :mod:`repro.circuits` — clamp op-amp, loser-take-all, drivers;
+* :mod:`repro.arch` — crossbar array, parasitics, energy/timing macro
+  models;
+* :mod:`repro.core` — the CSP encoding pipeline (Algorithm 1 + Fig. 5)
+  and the :class:`repro.core.FeReX` engine API;
+* :mod:`repro.apps` — KNN and hyperdimensional-computing applications
+  plus dataset generators;
+* :mod:`repro.eval` — Monte Carlo harness, GPU roofline baseline and
+  report formatting for the paper's tables and figures.
+"""
+
+from .core import FeReX, DistanceMatrix, get_metric
+
+__version__ = "1.0.0"
+
+__all__ = ["FeReX", "DistanceMatrix", "get_metric", "__version__"]

@@ -1,0 +1,28 @@
+"""Application layer: KNN and HDC classifiers plus dataset generators."""
+
+from .datasets import (
+    Dataset,
+    TABLE_III,
+    make_dataset,
+    make_isolet,
+    make_mnist,
+    make_ucihar,
+    quantize_features,
+)
+from .hdc import HDCClassifier, RandomProjectionEncoder, SymmetricQuantizer
+from .knn import KNNClassifier, KNNPrediction
+
+__all__ = [
+    "Dataset",
+    "HDCClassifier",
+    "KNNClassifier",
+    "KNNPrediction",
+    "RandomProjectionEncoder",
+    "SymmetricQuantizer",
+    "TABLE_III",
+    "make_dataset",
+    "make_isolet",
+    "make_mnist",
+    "make_ucihar",
+    "quantize_features",
+]

@@ -1,0 +1,13 @@
+"""Hyperdimensional computing on FeReX: encoder, quantisation, classifier."""
+
+from .encoder import RandomProjectionEncoder
+from .model import HDCClassifier, HDCTrainStats
+from .quantize import SymmetricQuantizer, binarize
+
+__all__ = [
+    "HDCClassifier",
+    "HDCTrainStats",
+    "RandomProjectionEncoder",
+    "SymmetricQuantizer",
+    "binarize",
+]

@@ -1,0 +1,74 @@
+"""Hyperdimensional encoding: random projection to high dimensions.
+
+Paper Sec. IV-B: "In HDC, low dimensional features are initially projected
+to high dimensional representations randomly, enabling holographicness
+across the high dimensional feature vectors."
+
+We implement the standard random-projection (record-based) encoder used by
+OnlineHD [Hernandez-Cano, DATE 2021]: a fixed random bipolar matrix
+projects the feature vector; an optional nonlinearity decorrelates the
+components; the result is quantised by the caller
+(:mod:`repro.apps.hdc.quantize`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class RandomProjectionEncoder:
+    """Fixed random projection ``R^n -> R^D`` with optional cosine
+    nonlinearity.
+
+    Parameters
+    ----------
+    n_features:
+        Input feature count.
+    dim:
+        Hypervector dimensionality D (thousands in practice).
+    nonlinearity:
+        "cos" applies ``cos(h + phase)`` — the OnlineHD kernel trick,
+        which makes the encoding behave like an RBF feature map;
+        "none" keeps the raw projection.
+    seed:
+        Generator seed; the projection is part of the model and must be
+        identical at train and inference time.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        dim: int = 2048,
+        nonlinearity: str = "cos",
+        seed: int = 7,
+    ):
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if nonlinearity not in ("cos", "none"):
+            raise ValueError(f"unknown nonlinearity {nonlinearity!r}")
+        self.n_features = n_features
+        self.dim = dim
+        self.nonlinearity = nonlinearity
+        rng = np.random.default_rng(seed)
+        self._projection = rng.normal(
+            0.0, 1.0 / np.sqrt(n_features), size=(n_features, dim)
+        )
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=dim)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Project a batch (n, n_features) to hyperspace (n, dim)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        h = x @ self._projection
+        if self.nonlinearity == "cos":
+            h = np.cos(h + self._phase)
+        return h

@@ -1,0 +1,26 @@
+"""Array-architecture substrate: crossbar simulator, wire parasitics,
+energy and timing models.
+
+Equivalent of the paper's array netlist plus the DESTINY/NeuroSim-style
+macro models used for Fig. 6.
+"""
+
+from .area import AreaBreakdown, AreaModel
+from .crossbar import BatchSearchResult, FeReXArray, SearchResult
+from .energy import EnergyBreakdown, EnergyModel
+from .parasitics import ArrayParasitics, LineParasitics, extract
+from .timing import SearchTiming, TimingModel
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "ArrayParasitics",
+    "BatchSearchResult",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "FeReXArray",
+    "LineParasitics",
+    "SearchResult",
+    "SearchTiming",
+    "TimingModel",
+]

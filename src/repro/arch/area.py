@@ -1,0 +1,101 @@
+"""Array area model (DESTINY-style floorplan estimate).
+
+The 1FeFET1R cell is area-free beyond its transistor because the
+resistor is integrated in the back end of line (paper Sec. II-A, citing
+[Saito, VLSI 2021]), so the core area is cells x pitch^2.  Peripheral
+blocks are estimated with per-instance footprints expressed in F^2,
+which is how DESTINY and NeuroSim compose macro area.
+
+The model answers the design questions the paper's cell-size ablation
+raises: a smaller K (fewer FeFET columns per element) buys core area
+linearly, while deeper drain ladders grow only the column periphery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.tech import TechConfig, DEFAULT_TECH
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of one FeReX array instance, square meters."""
+
+    core: float
+    row_interface: float
+    lta: float
+    drivers: float
+    decoder: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.core
+            + self.row_interface
+            + self.lta
+            + self.drivers
+            + self.decoder
+        )
+
+    @property
+    def core_fraction(self) -> float:
+        """Cell-array share of the total (efficiency metric)."""
+        return self.core / self.total if self.total > 0 else 0.0
+
+
+class AreaModel:
+    """Floorplan estimator for a rows x physical_cols FeReX array."""
+
+    #: Footprint of one row interface (MUX + clamp op-amp), F^2.
+    ROW_INTERFACE_F2 = 6000.0
+    #: Footprint of one LTA branch, F^2.
+    LTA_BRANCH_F2 = 900.0
+    #: Fixed LTA decision stage, F^2.
+    LTA_FIXED_F2 = 4000.0
+    #: Per-column SL driver + one pass gate per drain rail, F^2.
+    COLUMN_DRIVER_F2 = 250.0
+    PER_RAIL_F2 = 120.0
+    #: Row decoder per address bit, F^2.
+    DECODER_PER_BIT_F2 = 800.0
+
+    def __init__(
+        self,
+        rows: int,
+        physical_cols: int,
+        tech: Optional[TechConfig] = None,
+    ):
+        if rows < 1 or physical_cols < 1:
+            raise ValueError("array must have rows and columns")
+        self.rows = rows
+        self.physical_cols = physical_cols
+        self.tech = tech or DEFAULT_TECH
+
+    def breakdown(self) -> AreaBreakdown:
+        f2 = self.tech.feature_size**2
+        cell = self.tech.cell
+        core = self.rows * self.physical_cols * cell.area_f2 * f2
+        row_iface = self.rows * self.ROW_INTERFACE_F2 * f2
+        lta = (
+            self.rows * self.LTA_BRANCH_F2 + self.LTA_FIXED_F2
+        ) * f2
+        drivers = (
+            self.physical_cols
+            * (
+                self.COLUMN_DRIVER_F2
+                + cell.max_vds_multiple * self.PER_RAIL_F2
+            )
+            * f2
+        )
+        import math
+
+        bits = max(1, math.ceil(math.log2(max(self.rows, 2))))
+        decoder = bits * self.DECODER_PER_BIT_F2 * f2
+        return AreaBreakdown(
+            core=core,
+            row_interface=row_iface,
+            lta=lta,
+            drivers=drivers,
+            decoder=decoder,
+        )

@@ -1,0 +1,432 @@
+"""Behavioural simulator of the 1FeFET1R crossbar array.
+
+This is the Python stand-in for the paper's Cadence array netlist.  It
+keeps per-device state (threshold voltage, series resistance — both with
+sampled process variation), applies the paper's biasing schemes, and
+evaluates search currents vectorised over the whole array:
+
+* **write/erase** (paper Sec. III-A): one row selected (RL = 0 V), all
+  others inhibited at ``Vwrite / 2`` so their gate stacks never see a
+  switching field.  The simulator tracks disturb exposure of inhibited
+  cells and drifts their threshold if the inhibited stack voltage
+  approaches the coercive voltage — with the paper's scheme it never does,
+  which a regression test asserts.
+* **search**: search voltages on the SL gates, integer-multiple ``Vds`` on
+  the DLs, every ScL clamped at the op-amp reference.  A FeFET conducts
+  ``Vds / R`` when ON (clamp regime) and its subthreshold leakage when
+  OFF.  Row currents aggregate along the ScL and feed the LTA.
+
+The electrical model matches :mod:`repro.devices.cell` (the fast path)
+but evaluates in numpy across the array, which is what makes Monte Carlo
+over 100 array instances x thousands of queries tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits.lta import LoserTakeAll, LTADecision
+from ..devices.tech import TechConfig, DEFAULT_TECH, THERMAL_VOLTAGE
+from ..devices.variation import ArrayVariation, nominal_variation
+from .energy import EnergyBreakdown, EnergyModel
+from .parasitics import ArrayParasitics, extract
+from .timing import SearchTiming, TimingModel
+
+
+@dataclass
+class SearchResult:
+    """Everything one array search produces."""
+
+    #: (rows,) aggregated ScL currents, amps.
+    row_currents: np.ndarray
+    #: (rows,) currents expressed in nominal unit currents (distance reading).
+    row_units: np.ndarray
+    #: LTA decision (winner row index + electrical metadata).
+    decision: LTADecision
+    #: Latency breakdown.
+    timing: SearchTiming
+    #: Energy breakdown.
+    energy: EnergyBreakdown
+
+    @property
+    def winner(self) -> int:
+        return self.decision.winner
+
+    def ranked_rows(self) -> np.ndarray:
+        """Row indices sorted by measured current (closest first)."""
+        return np.argsort(self.row_currents, kind="stable")
+
+
+@dataclass
+class BatchSearchResult:
+    """Vectorised outcome of a query batch."""
+
+    #: (n_queries,) LTA winner per query.
+    winners: np.ndarray
+    #: (n_queries, rows) distance readings in unit currents.
+    row_units: np.ndarray
+    #: Latency of each search (identical across the batch).
+    timing_per_query: SearchTiming
+    #: Energy of each search (nominal-activity estimate).
+    energy_per_query: EnergyBreakdown
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.winners)
+
+    @property
+    def total_time(self) -> float:
+        """Wall time of the serialised batch, seconds."""
+        return self.n_queries * self.timing_per_query.total
+
+    @property
+    def total_energy(self) -> float:
+        """Energy of the serialised batch, joules."""
+        return self.n_queries * self.energy_per_query.total
+
+
+class FeReXArray:
+    """A rows x physical_cols 1FeFET1R crossbar with LTA read-out.
+
+    ``physical_cols`` counts FeFET columns; the data-to-device fan-out
+    (K FeFETs per encoded element) is handled by the mapping layer in
+    :mod:`repro.core.engine`, which drives this class with per-column
+    voltages.
+    """
+
+    #: Threshold drift per disturb event, volts per volt of overdrive
+    #: beyond the safe stack voltage.
+    DISTURB_DRIFT_PER_VOLT = 0.01
+    #: Multiple of the coercive voltage a half-selected stack tolerates
+    #: for one write-pulse duration without measurable switching.
+    #: Ferroelectric switching is strongly field-time nonlinear
+    #: (nucleation-limited switching): a full-select pulse at ~4x Vc
+    #: switches in a microsecond, while a half-select stack at ~1.7x Vc
+    #: needs orders of magnitude longer than the pulse [Ni, EDL 2018].
+    #: The V/2 inhibition scheme is designed exactly around this margin.
+    DISTURB_SAFE_FRACTION = 2.0
+
+    def __init__(
+        self,
+        rows: int,
+        physical_cols: int,
+        tech: Optional[TechConfig] = None,
+        variation: Optional[ArrayVariation] = None,
+    ):
+        if rows < 1 or physical_cols < 1:
+            raise ValueError("array needs at least one row and one column")
+        self.rows = rows
+        self.physical_cols = physical_cols
+        self.tech = tech or DEFAULT_TECH
+        if variation is None:
+            variation = nominal_variation(rows, physical_cols)
+        if variation.shape != (rows, physical_cols):
+            raise ValueError(
+                f"variation shape {variation.shape} != "
+                f"({rows}, {physical_cols})"
+            )
+        self.variation = variation
+
+        fefet = self.tech.fefet
+        erased = fefet.vth_low + fefet.memory_window
+        #: Programmed nominal threshold per cell (erased initially).
+        self._vth_nominal = np.full((rows, physical_cols), erased)
+        #: Disturb-induced drift accumulated per cell, volts.
+        self._disturb_drift = np.zeros((rows, physical_cols))
+        #: Series resistance per cell, ohms (static variation applied).
+        self._resistance = (
+            self.tech.cell.resistance * variation.r_factor
+        )
+        #: Stored MLC level per cell, -1 = erased.
+        self.levels = np.full((rows, physical_cols), -1, dtype=int)
+
+        self.parasitics: ArrayParasitics = extract(
+            rows,
+            physical_cols,
+            wire=self.tech.wire,
+            cell=self.tech.cell,
+            feature_size=self.tech.feature_size,
+        )
+        self.energy_model = EnergyModel(
+            rows, physical_cols, self.tech, self.parasitics
+        )
+        self.timing_model = TimingModel(
+            rows, physical_cols, self.tech, self.parasitics
+        )
+        self._lta = LoserTakeAll(
+            rows, self.tech.lta, offsets=variation.lta_offset
+        )
+        #: Cumulative write energy, joules.
+        self.write_energy_total = 0.0
+        #: Count of disturb-unsafe exposures observed (should stay 0).
+        self.disturb_violations = 0
+
+    # ------------------------------------------------------------------
+    # Observable device state
+    # ------------------------------------------------------------------
+    @property
+    def vth(self) -> np.ndarray:
+        """Actual per-cell thresholds: nominal + D2D offset + drift."""
+        return (
+            self._vth_nominal
+            + self.variation.vth_offset
+            + self._disturb_drift
+        )
+
+    @property
+    def resistance(self) -> np.ndarray:
+        """Actual per-cell series resistance, ohms."""
+        return self._resistance
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def erase_row(self, row: int) -> None:
+        """Block-erase one row to the highest threshold state."""
+        self._check_row(row)
+        fefet = self.tech.fefet
+        self._vth_nominal[row, :] = fefet.vth_low + fefet.memory_window
+        self.levels[row, :] = -1
+        self._account_write(self.physical_cols)
+        self._apply_disturb(row)
+
+    def program_row(self, row: int, levels: Sequence[int]) -> None:
+        """Erase-then-program a full row of MLC levels.
+
+        ``levels`` must contain valid level indices
+        (``0 .. n_vth_levels-1``); the whole row is written in one
+        erase + one program pulse per level group, with every other row
+        inhibited.
+        """
+        self._check_row(row)
+        levels = np.asarray(levels, dtype=int)
+        if levels.shape != (self.physical_cols,):
+            raise ValueError(
+                f"expected {self.physical_cols} levels, got {levels.shape}"
+            )
+        fefet = self.tech.fefet
+        if levels.min() < 0 or levels.max() >= fefet.n_vth_levels:
+            raise ValueError("level outside the device MLC range")
+
+        self.erase_row(row)
+        nominal = np.array([fefet.vth_level(l) for l in levels])
+        self._vth_nominal[row, :] = nominal
+        self.levels[row, :] = levels
+        self._account_write(self.physical_cols)
+        self._apply_disturb(row)
+
+    def program_matrix(self, levels: np.ndarray) -> None:
+        """Program every row of the array from a (rows, cols) level matrix."""
+        levels = np.asarray(levels, dtype=int)
+        if levels.shape != (self.rows, self.physical_cols):
+            raise ValueError(
+                f"expected shape ({self.rows}, {self.physical_cols}), "
+                f"got {levels.shape}"
+            )
+        for row in range(self.rows):
+            self.program_row(row, levels[row])
+
+    def _account_write(self, n_cells: int) -> None:
+        self.write_energy_total += self.energy_model.write_energy(
+            n_cells
+        ).total
+
+    def _apply_disturb(self, written_row: int) -> None:
+        """Model half-select stress on every *other* row.
+
+        The inhibited stack voltage is ``Vwrite - Vwrite/2 = Vwrite/2``.
+        If that exceeds the safe fraction of the coercive voltage the
+        threshold of inhibited cells drifts down slightly and the event is
+        counted; with the paper's inhibition scheme it never triggers.
+        """
+        fefet = self.tech.fefet
+        half = 0.5 * self.tech.driver.write_voltage
+        safe = self.DISTURB_SAFE_FRACTION * fefet.coercive_voltage
+        overdrive = half - safe
+        if overdrive <= 0:
+            return
+        mask = np.ones(self.rows, dtype=bool)
+        mask[written_row] = False
+        self._disturb_drift[mask, :] -= (
+            self.DISTURB_DRIFT_PER_VOLT * overdrive
+        )
+        self.disturb_violations += int(mask.sum()) * self.physical_cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} outside [0, {self.rows})")
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+    def cell_currents(
+        self,
+        sl_voltages: Sequence[float],
+        dl_multiples: Sequence[int],
+    ) -> np.ndarray:
+        """(rows, cols) per-cell currents under the given search bias.
+
+        Vectorised fast-path model: ON cells are clamped to ``Vds / R``
+        (the series resistor dominates); OFF cells leak the subthreshold
+        current capped by the clamp.
+        """
+        sl = np.asarray(sl_voltages, dtype=float)
+        dl = np.asarray(dl_multiples, dtype=int)
+        if sl.shape != (self.physical_cols,):
+            raise ValueError(
+                f"expected {self.physical_cols} SL voltages, got {sl.shape}"
+            )
+        if dl.shape != (self.physical_cols,):
+            raise ValueError(
+                f"expected {self.physical_cols} DL levels, got {dl.shape}"
+            )
+        cell = self.tech.cell
+        if dl.min() < 0 or dl.max() > cell.max_vds_multiple:
+            raise ValueError("DL multiple outside the selector's range")
+
+        fefet = self.tech.fefet
+        vds = dl * cell.vds_unit  # (cols,)
+        vth = self.vth  # (rows, cols)
+        clamp = vds[None, :] / self._resistance  # (rows, cols)
+
+        overdrive = sl[None, :] - vth
+        on = overdrive > 0
+
+        exponent = np.clip(
+            overdrive / (fefet.subthreshold_ideality * THERMAL_VOLTAGE),
+            -200.0,
+            0.0,
+        )
+        leak = np.maximum(
+            fefet.i0_subthreshold * np.exp(exponent), fefet.i_off_floor
+        )
+        off_current = np.minimum(leak, clamp)
+
+        on_current = np.minimum(clamp, fefet.i_sat_max)
+        currents = np.where(on, on_current, off_current)
+        currents[:, vds == 0.0] = 0.0
+        return currents
+
+    def search(
+        self,
+        sl_voltages: Sequence[float],
+        dl_multiples: Sequence[int],
+        active_rows: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """One associative search: bias, aggregate, LTA-decide.
+
+        ``active_rows`` optionally masks rows out of the competition (used
+        by iterative top-k search); masked rows still conduct but their
+        LTA branch is disabled.
+        """
+        currents = self.cell_currents(sl_voltages, dl_multiples)
+        # Per-row sensing gain: residual ScL clamp error scales every
+        # cell's Vds in a row, hence the whole row reading.
+        row_currents = currents.sum(axis=1) * self.variation.row_gain
+
+        compete = row_currents.copy()
+        if active_rows is not None:
+            active_rows = np.asarray(active_rows, dtype=bool)
+            if active_rows.shape != (self.rows,):
+                raise ValueError("active_rows must have one flag per row")
+            compete[~active_rows] = np.inf
+
+        decision = self._lta.decide(compete)
+        timing = self.timing_model.search_timing(decision.margin)
+        energy = self.energy_model.search_energy(
+            row_currents, np.asarray(dl_multiples, dtype=int), timing
+        )
+        energy.add("lta", 0.0)  # ensure key exists even for 1-row arrays
+        row_units = row_currents / self.tech.cell.unit_current
+        return SearchResult(
+            row_currents=row_currents,
+            row_units=row_units,
+            decision=decision,
+            timing=timing,
+            energy=energy,
+        )
+
+    def search_batch(
+        self,
+        sl_matrix: np.ndarray,
+        dl_matrix: np.ndarray,
+        chunk: int = 64,
+    ) -> "BatchSearchResult":
+        """Vectorised search over a batch of queries.
+
+        Electrically equivalent to calling :meth:`search` per query (the
+        array is time-multiplexed; nothing is shared between queries) but
+        evaluated in blocked numpy, which is what makes simulating
+        thousands of HDC inferences tractable.  Per-query timing/energy
+        are identical across the batch at the nominal margin, so the
+        models are evaluated once.
+
+        Parameters
+        ----------
+        sl_matrix / dl_matrix:
+            (n_queries, physical_cols) search voltages and drain levels.
+        chunk:
+            Queries per numpy block (bounds peak memory at
+            ``chunk * rows * cols`` floats).
+        """
+        sl_matrix = np.asarray(sl_matrix, dtype=float)
+        dl_matrix = np.asarray(dl_matrix, dtype=int)
+        if sl_matrix.ndim != 2 or sl_matrix.shape[1] != self.physical_cols:
+            raise ValueError(
+                f"expected (n, {self.physical_cols}) SL matrix, got "
+                f"{sl_matrix.shape}"
+            )
+        if dl_matrix.shape != sl_matrix.shape:
+            raise ValueError("SL and DL matrices must have equal shapes")
+
+        n_queries = sl_matrix.shape[0]
+        winners = np.empty(n_queries, dtype=int)
+        row_units = np.empty((n_queries, self.rows))
+        for start in range(0, n_queries, max(1, chunk)):
+            stop = min(start + max(1, chunk), n_queries)
+            for qi in range(start, stop):
+                currents = self.cell_currents(
+                    sl_matrix[qi], dl_matrix[qi]
+                )
+                row_current = (
+                    currents.sum(axis=1) * self.variation.row_gain
+                )
+                effective = row_current + self.variation.lta_offset
+                winners[qi] = int(np.argmin(effective))
+                row_units[qi] = (
+                    row_current / self.tech.cell.unit_current
+                )
+        timing = self.timing_model.search_timing()
+        energy = self.energy_model.search_energy(
+            row_units[0] * self.tech.cell.unit_current
+            if n_queries
+            else np.zeros(self.rows),
+            dl_matrix[0] if n_queries else np.zeros(self.physical_cols, int),
+            timing,
+        )
+        return BatchSearchResult(
+            winners=winners,
+            row_units=row_units,
+            timing_per_query=timing,
+            energy_per_query=energy,
+        )
+
+    def search_k(
+        self,
+        sl_voltages: Sequence[float],
+        dl_multiples: Sequence[int],
+        k: int,
+    ) -> list[SearchResult]:
+        """Iterative k-nearest search: mask each winner and re-decide."""
+        if not 1 <= k <= self.rows:
+            raise ValueError(f"k={k} outside [1, {self.rows}]")
+        active = np.ones(self.rows, dtype=bool)
+        results = []
+        for _ in range(k):
+            result = self.search(sl_voltages, dl_multiples, active)
+            results.append(result)
+            active[result.winner] = False
+        return results

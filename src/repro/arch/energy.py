@@ -1,0 +1,181 @@
+"""NeuroSim-style search-energy model of the FeReX array.
+
+Energy per search decomposes into (paper Sec. IV-A, Fig. 6(a)):
+
+* **array conduction** — every activated FeFET conducts ``Vds / R`` for the
+  whole search window; joule heating is ``sum(I * Vds) * t_search``;
+* **line charging** — the DL/SL swings charge the vertical wire
+  capacitance each query;
+* **op-amp clamping** — one amp per row burns static power for the search
+  window plus the settling charge;
+* **LTA** — bias current on every competing branch during the decision,
+  largely amortised as rows grow ("the power consumption of LTA grows
+  insignificantly as the number of rows increases");
+* **peripherals** — DAC/decoder/driver event energies.
+
+The headline metric of Fig. 6(a) is **energy per bit**: total search energy
+divided by the number of stored bits examined by the query
+(``rows x dims x bits_per_dim``).  Amortisation of the row-independent
+terms over more rows is what makes the per-bit curve fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.lta import LoserTakeAll
+from ..circuits.opamp import ClampOpAmp
+from ..devices.tech import TechConfig, DEFAULT_TECH
+from .parasitics import ArrayParasitics, extract
+from .timing import SearchTiming, TimingModel
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy of one operation, joules."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.components.values()))
+
+    def add(self, name: str, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative energy for {name}")
+        self.components[name] = self.components.get(name, 0.0) + value
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            {k: v * factor for k, v in self.components.items()}
+        )
+
+
+class EnergyModel:
+    """Search/write energy estimator for a ``rows x physical_cols`` array."""
+
+    def __init__(
+        self,
+        rows: int,
+        physical_cols: int,
+        tech: Optional[TechConfig] = None,
+        parasitics: Optional[ArrayParasitics] = None,
+    ):
+        self.rows = rows
+        self.physical_cols = physical_cols
+        self.tech = tech or DEFAULT_TECH
+        self.parasitics = parasitics or extract(
+            rows,
+            physical_cols,
+            wire=self.tech.wire,
+            cell=self.tech.cell,
+            feature_size=self.tech.feature_size,
+        )
+        self.timing = TimingModel(
+            rows, physical_cols, self.tech, self.parasitics
+        )
+
+    # ------------------------------------------------------------------
+    def search_energy(
+        self,
+        row_currents: np.ndarray,
+        dl_multiples: np.ndarray,
+        timing: Optional[SearchTiming] = None,
+    ) -> EnergyBreakdown:
+        """Energy of one search with the given electrical activity.
+
+        Parameters
+        ----------
+        row_currents:
+            (rows,) aggregated ScL currents, amps.
+        dl_multiples:
+            (physical_cols,) integer Vds levels applied this query.
+        timing:
+            Latency breakdown; computed at the nominal margin when omitted.
+        """
+        tech = self.tech
+        cell = tech.cell
+        timing = timing or self.timing.search_timing()
+        # The array and its clamp op-amps only need to be biased until the
+        # LTA input stage has sampled stable row currents — the sensing
+        # window; the regenerative LTA decision runs off its own rail.
+        sensing_window = timing.drive + timing.scl_settling
+
+        breakdown = EnergyBreakdown()
+
+        vds = np.asarray(dl_multiples, dtype=float) * cell.vds_unit
+        # Array conduction: the ScL current of each row flowed from drain
+        # rails at (on average) the driven Vds levels.
+        total_current = float(np.sum(row_currents))
+        mean_vds = float(np.mean(vds)) if len(vds) else 0.0
+        breakdown.add(
+            "array_conduction", total_current * mean_vds * sensing_window
+        )
+
+        # Line charging: vertical lines swing to their target levels.
+        cap_line = self.parasitics.dl.capacitance
+        charge = float(np.sum(cap_line * vds * vds))
+        breakdown.add("line_charging", charge)
+
+        # Op-amp clamping: one per row, biased through the sensing window.
+        opamp = ClampOpAmp(tech.opamp)
+        step = cell.max_vds_multiple * cell.vds_unit
+        settle = opamp.settling(self.parasitics.scl.capacitance, step)
+        hold = max(0.0, sensing_window - settle.total_time)
+        breakdown.add(
+            "opamp",
+            self.rows * (settle.energy + opamp.hold_energy(hold)),
+        )
+
+        # LTA decision.
+        lta = LoserTakeAll(self.rows, tech.lta)
+        breakdown.add("lta", lta.decision_energy(timing.lta))
+
+        # Peripheral events.
+        driver = tech.driver
+        active_sls = int(np.count_nonzero(dl_multiples))
+        breakdown.add("sl_drivers", active_sls * driver.sl_driver_energy)
+        breakdown.add(
+            "dl_selector",
+            float(np.sum(np.asarray(dl_multiples))) * driver.dac_energy_per_line,
+        )
+        return breakdown
+
+    def energy_per_bit(
+        self,
+        breakdown: EnergyBreakdown,
+        dims: int,
+        bits_per_dim: int,
+    ) -> float:
+        """Fig. 6(a) metric: search energy per examined stored bit."""
+        bits = self.rows * dims * bits_per_dim
+        if bits <= 0:
+            raise ValueError("no bits examined")
+        return breakdown.total / bits
+
+    # ------------------------------------------------------------------
+    def write_energy(self, n_cells: int) -> EnergyBreakdown:
+        """Energy of programming ``n_cells`` cells (one pulse each) with the
+        V/2 inhibition scheme charging every unselected row line."""
+        tech = self.tech
+        breakdown = EnergyBreakdown()
+        breakdown.add(
+            "write_drivers", n_cells * tech.driver.write_driver_energy
+        )
+        half_v = 0.5 * tech.driver.write_voltage
+        inhibit = (
+            (self.rows - 1)
+            * self.parasitics.rl.capacitance
+            * half_v
+            * half_v
+        )
+        breakdown.add("inhibition", max(0.0, inhibit))
+        breakdown.add(
+            "decoder",
+            tech.driver.decoder_energy_per_bit
+            * max(1, int(np.ceil(np.log2(max(self.rows, 2))))),
+        )
+        return breakdown

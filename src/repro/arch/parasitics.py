@@ -1,0 +1,96 @@
+"""DESTINY-style wire parasitic extraction for the FeReX crossbar.
+
+The paper extracts 45 nm wiring parasitics with DESTINY [Poremba, DATE
+2015].  DESTINY's first-order model is: wire resistance and capacitance
+scale linearly with routed length, plus a per-connected-cell junction load.
+Lengths follow from the array geometry — each 1FeFET1R cell occupies a
+``cell_pitch_f`` x ``cell_pitch_f`` footprint (the BEOL resistor stacks on
+top of the transistor, so the resistor adds no area [Saito, VLSI 2021]).
+
+Line orientation in FeReX (paper Fig. 2(a)):
+
+* search lines (SL) and drain lines (DL) run **vertically** — shared by the
+  FeFETs of one column, so their length grows with the number of rows;
+* source lines (ScL) and row lines (RL) run **horizontally** — shared
+  within a row, so their length grows with the number of columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.tech import CellParams, WireParams, FEATURE_SIZE_45NM
+
+
+@dataclass(frozen=True)
+class LineParasitics:
+    """Lumped RC of one array line."""
+
+    #: Total line resistance, ohms.
+    resistance: float
+    #: Total line capacitance (wire + cell loading), farads.
+    capacitance: float
+    #: Elmore delay of the distributed line, seconds.
+    @property
+    def elmore_delay(self) -> float:
+        return 0.5 * self.resistance * self.capacitance
+
+
+@dataclass(frozen=True)
+class ArrayParasitics:
+    """Parasitics of every line class in one crossbar instance."""
+
+    scl: LineParasitics
+    rl: LineParasitics
+    sl: LineParasitics
+    dl: LineParasitics
+    #: Physical array width (column direction), meters.
+    width: float
+    #: Physical array height (row direction), meters.
+    height: float
+
+    @property
+    def area(self) -> float:
+        """Array core area, square meters."""
+        return self.width * self.height
+
+
+def extract(
+    rows: int,
+    cols: int,
+    wire: Optional[WireParams] = None,
+    cell: Optional[CellParams] = None,
+    feature_size: float = FEATURE_SIZE_45NM,
+) -> ArrayParasitics:
+    """Extract lumped line parasitics for a ``rows x cols`` crossbar.
+
+    ``cols`` counts physical FeFET columns (cells x FeFETs-per-cell after
+    the encoding maps each data element onto K devices).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("array must have at least one row and one column")
+    wire = wire or WireParams()
+    cell = cell or CellParams()
+
+    pitch = cell.cell_pitch_f * feature_size
+    width = cols * pitch
+    height = rows * pitch
+
+    def line(length: float, n_cells: int) -> LineParasitics:
+        return LineParasitics(
+            resistance=length * wire.res_per_meter,
+            capacitance=length * wire.cap_per_meter
+            + n_cells * wire.cap_per_cell,
+        )
+
+    horizontal = line(width, cols)
+    vertical = line(height, rows)
+    return ArrayParasitics(
+        scl=horizontal,
+        rl=horizontal,
+        sl=vertical,
+        dl=vertical,
+        width=width,
+        height=height,
+    )

@@ -1,0 +1,101 @@
+"""Search-delay model of the FeReX array.
+
+The paper decomposes search delay into two parts (Sec. IV-A):
+
+    "About 60% of the total delay comes from ScL voltage stabilization
+    associated with the op-amp, which is constrained by the op-amp's slew
+    rate. The remaining delay associates with the LTA circuitry."
+
+and Fig. 6(b) shows total delay growing gradually with the number of rows
+and dimensions.  This module reproduces both statements structurally:
+
+* **drive phase** — decoder + DAC assertion, a small constant;
+* **ScL settling** — the clamp op-amp fights the current step injected by
+  the activated FeFETs into the ScL; its load is the full horizontal wire
+  plus every cell junction (grows with dimensions), so this term scales
+  with columns and dominates;
+* **LTA decision** — grows logarithmically with rows via the shared-rail
+  term and inversely with the winner margin.
+
+The ScL disturbance amplitude is the unit Vds step: when the search vector
+changes, a drain line moves by at most ``max_vds_multiple * vds_unit`` and
+couples onto the ScL; we use the worst-case full-swing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..circuits.lta import LoserTakeAll
+from ..circuits.opamp import ClampOpAmp
+from ..devices.tech import TechConfig, DEFAULT_TECH
+from .parasitics import ArrayParasitics, extract
+
+
+@dataclass(frozen=True)
+class SearchTiming:
+    """Breakdown of one search operation's latency."""
+
+    #: Peripheral decode + drive time, seconds.
+    drive: float
+    #: ScL stabilisation (op-amp limited), seconds.
+    scl_settling: float
+    #: LTA decision time, seconds.
+    lta: float
+
+    @property
+    def total(self) -> float:
+        return self.drive + self.scl_settling + self.lta
+
+    @property
+    def scl_fraction(self) -> float:
+        """Fraction of the total delay due to ScL settling (the paper's
+        '~60%' figure at the nominal design point)."""
+        return self.scl_settling / self.total if self.total > 0 else 0.0
+
+
+class TimingModel:
+    """Computes search latency for a given array geometry."""
+
+    def __init__(
+        self,
+        rows: int,
+        physical_cols: int,
+        tech: Optional[TechConfig] = None,
+        parasitics: Optional[ArrayParasitics] = None,
+    ):
+        self.rows = rows
+        self.physical_cols = physical_cols
+        self.tech = tech or DEFAULT_TECH
+        self.parasitics = parasitics or extract(
+            rows,
+            physical_cols,
+            wire=self.tech.wire,
+            cell=self.tech.cell,
+            feature_size=self.tech.feature_size,
+        )
+        self._opamp = ClampOpAmp(self.tech.opamp)
+
+    def scl_load(self) -> float:
+        """Capacitive load one row op-amp drives, farads."""
+        return self.parasitics.scl.capacitance
+
+    def search_timing(self, winner_margin: Optional[float] = None) -> SearchTiming:
+        """Latency breakdown for one search.
+
+        ``winner_margin`` is the winner/runner-up current gap (amps); when
+        omitted the nominal one-unit-current margin is assumed.
+        """
+        cell = self.tech.cell
+        if winner_margin is None:
+            winner_margin = cell.unit_current
+
+        drive = self.tech.driver.drive_delay
+
+        step = cell.max_vds_multiple * cell.vds_unit
+        settle = self._opamp.settling(self.scl_load(), step).total_time
+
+        lta = LoserTakeAll(self.rows, self.tech.lta)
+        lta_delay = lta.decision_delay(winner_margin)
+        return SearchTiming(drive=drive, scl_settling=settle, lta=lta_delay)

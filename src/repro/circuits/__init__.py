@@ -1,0 +1,32 @@
+"""Circuit-level substrate: ScL clamp op-amp, loser-take-all comparator,
+row interface multiplexing and peripheral drivers.
+
+Behavioural equivalents of the transistor-level blocks the paper simulates
+in Cadence (45 nm PTM + scaled two-stage op-amp + current-domain LTA).
+"""
+
+from .drivers import (
+    DrainVoltageSelector,
+    DriveEvent,
+    RowDecoder,
+    SearchLineDriver,
+    WriteLevelShifter,
+)
+from .interface import RowBias, RowInterface, RowMode
+from .lta import LoserTakeAll, LTADecision
+from .opamp import ClampOpAmp, SettlingReport
+
+__all__ = [
+    "ClampOpAmp",
+    "DrainVoltageSelector",
+    "DriveEvent",
+    "LoserTakeAll",
+    "LTADecision",
+    "RowBias",
+    "RowDecoder",
+    "RowInterface",
+    "RowMode",
+    "SearchLineDriver",
+    "SettlingReport",
+    "WriteLevelShifter",
+]

@@ -1,0 +1,134 @@
+"""Array peripheral drivers: search-line DACs, drain-voltage selector,
+level shifters and decoders.
+
+The paper lists the peripherals as "level shifters for high write voltages,
+column switch matrix for selecting columns and input decoder (or
+digital-to-analog converter)" (Sec. III-A, citing the NeuroSim macro model
+[Chen, TCAD 2018]).  FeReX additionally needs the *drain voltage selector*
+that applies the per-column multi-level ``Vds`` demanded by the encoding.
+
+The models here are NeuroSim-style: per-event energy coefficients from
+:class:`repro.devices.tech.DriverParams` multiplied by activity counts, and
+a fixed drive delay.  They capture the scaling *shape* (energy linear in
+driven lines, decoder energy logarithmic in row count) that the paper's
+Fig. 6 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..devices.tech import DriverParams
+
+
+@dataclass(frozen=True)
+class DriveEvent:
+    """Energy/delay record of one peripheral drive operation."""
+
+    energy: float
+    delay: float
+
+
+class SearchLineDriver:
+    """DAC bank that applies the per-column search gate voltages (SLs)."""
+
+    def __init__(self, n_columns: int, params: Optional[DriverParams] = None):
+        if n_columns < 1:
+            raise ValueError("driver needs at least one column")
+        self.n_columns = n_columns
+        self.params = params or DriverParams()
+
+    def apply(self, voltages: Sequence[float]) -> DriveEvent:
+        """Drive one search vector onto the SLs.
+
+        Energy is charged only for lines that move (non-zero target), which
+        is how NeuroSim counts DAC activity.
+        """
+        if len(voltages) != self.n_columns:
+            raise ValueError(
+                f"expected {self.n_columns} SL voltages, got {len(voltages)}"
+            )
+        active = sum(1 for v in voltages if v != 0.0)
+        return DriveEvent(
+            energy=active * self.params.sl_driver_energy,
+            delay=self.params.drive_delay,
+        )
+
+
+class DrainVoltageSelector:
+    """Selector applying integer-multiple ``Vds`` levels to the drain lines.
+
+    One selector rail exists per supported multiple; driving a column is a
+    pass-gate connection, so energy is the DAC coefficient per driven line
+    weighted by the level (higher rails swing more charge).
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        max_multiple: int,
+        params: Optional[DriverParams] = None,
+    ):
+        if n_columns < 1:
+            raise ValueError("selector needs at least one column")
+        if max_multiple < 1:
+            raise ValueError("need at least one Vds level")
+        self.n_columns = n_columns
+        self.max_multiple = max_multiple
+        self.params = params or DriverParams()
+
+    def apply(self, multiples: Sequence[int]) -> DriveEvent:
+        """Drive the integer ``Vds`` multiples onto the drain lines."""
+        if len(multiples) != self.n_columns:
+            raise ValueError(
+                f"expected {self.n_columns} DL levels, got {len(multiples)}"
+            )
+        energy = 0.0
+        for m in multiples:
+            if not 0 <= m <= self.max_multiple:
+                raise ValueError(
+                    f"Vds multiple {m} outside [0, {self.max_multiple}]"
+                )
+            energy += m * self.params.dac_energy_per_line
+        return DriveEvent(energy=energy, delay=self.params.drive_delay)
+
+
+class RowDecoder:
+    """Address decoder selecting one row for write/erase."""
+
+    def __init__(self, n_rows: int, params: Optional[DriverParams] = None):
+        if n_rows < 1:
+            raise ValueError("decoder needs at least one row")
+        self.n_rows = n_rows
+        self.params = params or DriverParams()
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.n_rows)))
+
+    def select(self, row: int) -> DriveEvent:
+        """Decode and assert one row address."""
+        if not 0 <= row < self.n_rows:
+            raise ValueError(f"row {row} outside [0, {self.n_rows})")
+        return DriveEvent(
+            energy=self.address_bits * self.params.decoder_energy_per_bit,
+            delay=self.params.drive_delay,
+        )
+
+
+class WriteLevelShifter:
+    """High-voltage level shifter bank for program/erase pulses."""
+
+    def __init__(self, params: Optional[DriverParams] = None):
+        self.params = params or DriverParams()
+
+    def pulse(self, n_cells: int) -> DriveEvent:
+        """Fire one program/erase pulse into ``n_cells`` cells."""
+        if n_cells < 0:
+            raise ValueError("cell count must be >= 0")
+        return DriveEvent(
+            energy=n_cells * self.params.write_driver_energy,
+            delay=self.params.write_pulse_width,
+        )

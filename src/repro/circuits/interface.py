@@ -1,0 +1,104 @@
+"""Per-row interface circuit: write/search mode multiplexing.
+
+Each FeReX row carries an interface block (paper Fig. 2(c)) consisting of a
+MUX and the clamp op-amp:
+
+* **write/erase phase** — the MUX routes the row line (RL) potential onto
+  the source line, implementing the V/2 inhibition scheme: the selected
+  row's RL is 0 V while unselected rows are raised to half the write
+  voltage so their gate stacks never see a switching field
+  (paper Sec. III-A, citing [Ni, EDL 2018] for write disturb).
+* **search phase** — the MUX selects the op-amp, which clamps the ScL to
+  the search reference ``Vs`` and mirrors the aggregated row current into
+  the LTA.
+
+The model tracks mode, exposes the inhibition voltages, and accounts MUX
+switching energy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.tech import DriverParams, OpAmpParams
+from .opamp import ClampOpAmp
+
+
+class RowMode(enum.Enum):
+    """Operating mode of one row's interface block."""
+
+    IDLE = "idle"
+    WRITE_SELECTED = "write_selected"
+    WRITE_INHIBITED = "write_inhibited"
+    SEARCH = "search"
+
+
+@dataclass(frozen=True)
+class RowBias:
+    """Voltages the interface applies to one row in the current mode."""
+
+    #: Source-line voltage, volts.
+    scl_voltage: float
+    #: Row-line voltage, volts.
+    rl_voltage: float
+
+
+class RowInterface:
+    """Interface circuit of a single row."""
+
+    #: Energy of toggling the row MUX, joules (small pass-gate pair).
+    MUX_SWITCH_ENERGY = 0.5e-15
+
+    def __init__(
+        self,
+        opamp_params: Optional[OpAmpParams] = None,
+        driver_params: Optional[DriverParams] = None,
+    ):
+        self.opamp = ClampOpAmp(opamp_params)
+        self.driver_params = driver_params or DriverParams()
+        self.mode = RowMode.IDLE
+        self._mode_switches = 0
+
+    @property
+    def mode_switches(self) -> int:
+        """Number of MUX toggles since construction (energy accounting)."""
+        return self._mode_switches
+
+    def set_mode(self, mode: RowMode) -> float:
+        """Switch the row into ``mode``; returns the MUX energy spent."""
+        if mode == self.mode:
+            return 0.0
+        self.mode = mode
+        self._mode_switches += 1
+        return self.MUX_SWITCH_ENERGY
+
+    def bias(self, search_reference: float = 0.0) -> RowBias:
+        """Voltages this row applies given its present mode.
+
+        ``search_reference`` is the op-amp reference ``Vs`` used during
+        search.  In write modes the ScL follows the RL (MUX selects RL).
+        """
+        write_v = self.driver_params.write_voltage
+        if self.mode == RowMode.WRITE_SELECTED:
+            return RowBias(scl_voltage=0.0, rl_voltage=0.0)
+        if self.mode == RowMode.WRITE_INHIBITED:
+            half = 0.5 * write_v
+            return RowBias(scl_voltage=half, rl_voltage=half)
+        if self.mode == RowMode.SEARCH:
+            return RowBias(scl_voltage=search_reference, rl_voltage=0.0)
+        return RowBias(scl_voltage=0.0, rl_voltage=0.0)
+
+    def gate_overdrive_during_write(
+        self, sl_voltage: float, selected: bool
+    ) -> float:
+        """Effective gate-to-channel programming voltage a cell on this row
+        sees when its search line carries ``sl_voltage``.
+
+        For a selected row the full SL voltage drops over the gate stack;
+        for an inhibited row only ``sl_voltage - Vwrite/2`` remains, which
+        stays below the coercive voltage by design.
+        """
+        bias = self.bias()
+        return sl_voltage - bias.scl_voltage if not selected else sl_voltage

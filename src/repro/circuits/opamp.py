@@ -1,0 +1,93 @@
+"""Behavioural model of the per-row source-line clamping op-amp.
+
+During search, the interface circuit of every row connects an op-amp that
+holds the source line (ScL) at the reference ``Vs`` (paper Fig. 2(c)).  The
+clamp matters because the FeFET ON current is ``Vds / R``: if the ScL
+potential moved with the row current, ``Vds`` and hence the unit current
+would drift and corrupt the distance reading (paper Sec. III-A: "The
+op-amps of all rows are used to inhibit ScL voltage fluctuation").
+
+The paper reports that about 60 % of the total search delay is ScL voltage
+stabilisation, limited by the op-amp slew rate (Sec. IV-A).  This module
+reproduces that with a standard two-phase settling model:
+
+* a slew-limited large-signal phase: ``t_slew = dV / SR``;
+* an exponential small-signal phase with time constant set by the closed
+  loop bandwidth: ``t_lin = ln(1/eps) / (2 pi f_u)`` scaled by the ratio of
+  the load capacitance to the design load.
+
+Energy is quiescent power times the time the amp is enabled, plus the
+charge delivered to the load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.tech import OpAmpParams
+
+
+@dataclass(frozen=True)
+class SettlingReport:
+    """Breakdown of one op-amp settling event."""
+
+    #: Slew-limited phase duration, seconds.
+    slew_time: float
+    #: Linear-settling phase duration, seconds.
+    linear_time: float
+    #: Total settling time, seconds.
+    total_time: float
+    #: Energy drawn from the supply during settling, joules.
+    energy: float
+
+
+class ClampOpAmp:
+    """The ScL clamp amplifier of one FeReX row."""
+
+    #: Load capacitance the published amp was characterised with, farads.
+    DESIGN_LOAD = 50.0e-15
+
+    def __init__(self, params: Optional[OpAmpParams] = None):
+        self.params = params or OpAmpParams()
+
+    def settling(
+        self,
+        load_capacitance: float,
+        voltage_step: float,
+    ) -> SettlingReport:
+        """Settle the ScL onto the reference after a ``voltage_step``
+        disturbance with the given wire + device ``load_capacitance``.
+
+        Returns the two-phase breakdown.  Both phases stretch linearly with
+        the load relative to the design load: slewing because the available
+        output current is fixed, linear settling because the closed-loop
+        pole is ``gm / C_load``.
+        """
+        if load_capacitance < 0:
+            raise ValueError("load capacitance must be >= 0")
+        p = self.params
+        load_ratio = max(load_capacitance / self.DESIGN_LOAD, 1e-3)
+        step = abs(voltage_step)
+
+        t_slew = step / p.slew_rate * load_ratio
+        t_lin = (
+            math.log(1.0 / p.settling_accuracy)
+            / (2.0 * math.pi * p.unity_gain_bandwidth)
+            * load_ratio
+        )
+        total = t_slew + t_lin
+        energy = p.static_power * total + 0.5 * load_capacitance * step * step
+        return SettlingReport(
+            slew_time=t_slew,
+            linear_time=t_lin,
+            total_time=total,
+            energy=energy,
+        )
+
+    def hold_energy(self, duration: float) -> float:
+        """Static energy burned while clamping for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        return self.params.static_power * duration

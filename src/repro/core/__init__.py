@@ -1,0 +1,87 @@
+"""FeReX core: the paper's contribution — CSP-based reconfigurable
+distance encoding and the search-engine API built on it.
+"""
+
+from .constructive import (
+    constructive_cell,
+    euclidean_cell,
+    hamming_cell,
+    has_constructive,
+    manhattan_cell,
+)
+from .csp import CSP, Constraint, ac3, backtracking_search, solve_all
+from .decompose import decompose, decomposable, min_fefets_for
+from .distance import (
+    DistanceMetric,
+    EUCLIDEAN,
+    HAMMING,
+    MANHATTAN,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from .dm import DistanceMatrix
+from .encoding import (
+    CellEncoding,
+    EncodingError,
+    FeFETEncoding,
+    best_encoding,
+    encode_cell,
+    encode_fefet,
+    off_count_search_levels,
+    verify_encoding,
+)
+from .engine import ConfigurationError, EngineSearchResult, FeReX
+from .feasibility import (
+    CellSolution,
+    FeasibilityResult,
+    RowAssignment,
+    check_feasibility,
+    enumerate_row_assignments,
+    find_min_cell,
+    iter_solutions,
+    rows_compatible,
+)
+
+__all__ = [
+    "CSP",
+    "CellEncoding",
+    "CellSolution",
+    "ConfigurationError",
+    "Constraint",
+    "DistanceMatrix",
+    "DistanceMetric",
+    "EUCLIDEAN",
+    "EncodingError",
+    "EngineSearchResult",
+    "FeFETEncoding",
+    "FeReX",
+    "FeasibilityResult",
+    "HAMMING",
+    "MANHATTAN",
+    "RowAssignment",
+    "ac3",
+    "available_metrics",
+    "backtracking_search",
+    "best_encoding",
+    "check_feasibility",
+    "constructive_cell",
+    "decomposable",
+    "decompose",
+    "encode_cell",
+    "encode_fefet",
+    "enumerate_row_assignments",
+    "euclidean_cell",
+    "find_min_cell",
+    "get_metric",
+    "hamming_cell",
+    "has_constructive",
+    "iter_solutions",
+    "manhattan_cell",
+    "min_fefets_for",
+    "off_count_search_levels",
+    "register_metric",
+    "rows_compatible",
+    "solve_all",
+    "verify_encoding",
+]

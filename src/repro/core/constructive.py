@@ -1,0 +1,229 @@
+"""Closed-form (constructive) FeReX encodings for any bit width.
+
+The CSP pipeline finds *minimal* cells but its cost grows quickly with the
+alphabet (the 3-bit Euclidean DM has entries up to 49).  For the
+application benchmarks the paper runs (multi-bit Manhattan and Euclidean in
+Sec. IV-B) we also provide closed-form encodings that are feasible by
+construction for every bit width:
+
+* **Hamming** — two FeFETs per bit position ``p``: one conducts when the
+  search bit is 1 and the stored bit is 0, the mirror conducts in the
+  opposite case.  ``K = 2b``, unit currents only.
+* **Manhattan** — thermometer code: for every threshold ``j`` in
+  ``1..L`` (``L = 2^b - 1``) an "up" FeFET conducts when
+  ``sch >= j > sto`` and a "down" FeFET when ``sto >= j > sch``; each
+  contributes one unit, so the cell sums ``|sch - sto|``.  ``K = 2L``.
+* **Euclidean (squared)** — same thermometer ON conditions, but the up
+  FeFET at threshold ``j`` carries magnitude ``2(sch - j) + 1`` and the
+  down FeFET ``2(j - sch) - 1``; telescoping gives ``(sch - sto)^2``.
+  ``K = 2L`` with drain multiples up to ``2L - 1``.
+
+Every constructor emits a :class:`repro.core.feasibility.CellSolution`,
+so the same Fig.-5 post-processing, verification and engine mapping apply
+to CSP-found and constructive encodings alike.  Each ON condition is of
+the form ``f(sch) > g(sto)`` with thermometer-monotone sets, hence the
+chain constraint holds by construction (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .dm import DistanceMatrix
+from .feasibility import CellSolution, RowAssignment
+
+
+def _solution_from_tables(
+    on: List[List[List[bool]]],
+    mag: List[List[int]],
+    n_stored: int,
+    current_range: Tuple[int, ...],
+) -> CellSolution:
+    """Assemble a CellSolution from per-[sch][fefet][sto] ON tables and
+    per-[sch][fefet] magnitudes."""
+    n_search = len(on)
+    k = len(on[0]) if n_search else 0
+    rows = []
+    for s in range(n_search):
+        masks = []
+        mags = []
+        for i in range(k):
+            mask = 0
+            for t in range(n_stored):
+                if on[s][i][t]:
+                    mask |= 1 << t
+            masks.append(mask)
+            mags.append(mag[s][i] if mask else 0)
+        rows.append(RowAssignment(tuple(mags), tuple(masks)))
+    return CellSolution(
+        k=k,
+        current_range=current_range,
+        rows=tuple(rows),
+        n_stored=n_stored,
+    )
+
+
+def hamming_cell(bits: int) -> CellSolution:
+    """Constructive Hamming cell: ``K = 2 * bits``, unit currents.
+
+    FeFET ``2p`` conducts iff search bit ``p`` is 1 and stored bit ``p``
+    is 0; FeFET ``2p + 1`` is the mirror.  Each mismatch contributes one
+    unit, so the cell current is the Hamming distance.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    n = 1 << bits
+    k = 2 * bits
+    on = [[[False] * n for _ in range(k)] for _ in range(n)]
+    mag = [[1] * k for _ in range(n)]
+    for s in range(n):
+        for t in range(n):
+            for p in range(bits):
+                s_bit = s >> p & 1
+                t_bit = t >> p & 1
+                if s_bit == 1 and t_bit == 0:
+                    on[s][2 * p][t] = True
+                if s_bit == 0 and t_bit == 1:
+                    on[s][2 * p + 1][t] = True
+    return _solution_from_tables(on, mag, n, (1,))
+
+
+def manhattan_cell(bits: int) -> CellSolution:
+    """Constructive Manhattan cell: thermometer code, ``K = 2 * (2^b - 1)``.
+
+    Up-FeFET ``j`` conducts iff ``sch >= j > sto``; down-FeFET ``j`` iff
+    ``sto >= j > sch``; both carry one unit.  Exactly ``|sch - sto|``
+    FeFETs conduct.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    n = 1 << bits
+    levels = n - 1
+    k = 2 * levels
+    on = [[[False] * n for _ in range(k)] for _ in range(n)]
+    mag = [[1] * k for _ in range(n)]
+    for s in range(n):
+        for t in range(n):
+            for j in range(1, levels + 1):
+                if s >= j > t:
+                    on[s][j - 1][t] = True
+                if t >= j > s:
+                    on[s][levels + j - 1][t] = True
+    return _solution_from_tables(on, mag, n, (1,))
+
+
+def euclidean_cell(bits: int) -> CellSolution:
+    """Constructive squared-Euclidean cell: ``K = 2 * (2^b - 1)`` with
+    odd-weighted drain multiples.
+
+    Telescoping identity: ``(s - t)^2 = sum_{j=t+1..s} (2(s - j) + 1)``
+    for ``s > t`` — the up-FeFET at threshold ``j`` carries
+    ``2(s - j) + 1`` units, which depends only on the *search* value, as
+    constraint 2 requires.  Symmetrically for ``t > s``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    n = 1 << bits
+    levels = n - 1
+    k = 2 * levels
+    max_mult = max(2 * levels - 1, 1)
+    on = [[[False] * n for _ in range(k)] for _ in range(n)]
+    mag = [[1] * k for _ in range(n)]
+    for s in range(n):
+        for j in range(1, levels + 1):
+            up_mag = 2 * (s - j) + 1
+            if up_mag >= 1:
+                mag[s][j - 1] = up_mag
+            down_mag = 2 * (j - s) - 1
+            if down_mag >= 1:
+                mag[s][levels + j - 1] = down_mag
+        for t in range(n):
+            for j in range(1, levels + 1):
+                if s >= j > t:
+                    on[s][j - 1][t] = True
+                if t >= j > s:
+                    on[s][levels + j - 1][t] = True
+    return _solution_from_tables(
+        on, mag, n, tuple(range(1, max_mult + 1))
+    )
+
+
+def best_match_cell(bits: int) -> CellSolution:
+    """Constructive best-match cell: ``K = 2`` for *any* bit width.
+
+    ``[s != t] = [s > t] + [t > s]`` and each comparison is a single
+    staircase predicate (``f(s) = s`` against ``g(t) = t``), so two
+    FeFETs implement the mismatch indicator of the IEDM'20 multi-bit CAM
+    regardless of the alphabet size.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    n = 1 << bits
+    on = [[[False] * n for _ in range(2)] for _ in range(n)]
+    mag = [[1, 1] for _ in range(n)]
+    for s in range(n):
+        for t in range(n):
+            if s > t:
+                on[s][0][t] = True
+            if t > s:
+                on[s][1][t] = True
+    return _solution_from_tables(on, mag, n, (1,))
+
+
+def capped_manhattan_cell(bits: int, cap: int) -> CellSolution:
+    """Constructive saturating-L1 cell: ``min(|s - t|, cap)``.
+
+    Same thermometer skeleton as :func:`manhattan_cell`, but the up
+    FeFET at threshold ``j`` only conducts while ``j > s - cap`` (the
+    element has not yet saturated), and symmetrically for the down
+    FeFET.  The per-row ON-sets are either the thermometer set or empty,
+    so the chain constraint still holds by construction.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+    n = 1 << bits
+    levels = n - 1
+    k = 2 * levels
+    on = [[[False] * n for _ in range(k)] for _ in range(n)]
+    mag = [[1] * k for _ in range(n)]
+    for s in range(n):
+        for t in range(n):
+            for j in range(1, levels + 1):
+                if s >= j > t and j > s - cap:
+                    on[s][j - 1][t] = True
+                if t >= j > s and j < s + cap + 1:
+                    on[s][levels + j - 1][t] = True
+    return _solution_from_tables(on, mag, n, (1,))
+
+
+_BUILDERS = {
+    "hamming": hamming_cell,
+    "manhattan": manhattan_cell,
+    "euclidean": euclidean_cell,
+    "best-match": best_match_cell,
+}
+
+
+def constructive_cell(metric_name: str, bits: int) -> CellSolution:
+    """Closed-form cell for one of the paper's three metrics."""
+    try:
+        builder = _BUILDERS[metric_name]
+    except KeyError:
+        raise KeyError(
+            f"no constructive encoding for {metric_name!r}; "
+            f"known: {sorted(_BUILDERS)}"
+        ) from None
+    solution = builder(bits)
+    dm = DistanceMatrix.from_metric(metric_name, bits)
+    if not solution.verify(dm):
+        raise AssertionError(
+            f"constructive {metric_name} cell failed self-verification"
+        )
+    return solution
+
+
+def has_constructive(metric_name: str) -> bool:
+    """True when a closed-form builder exists for the metric."""
+    return metric_name in _BUILDERS

@@ -1,0 +1,249 @@
+"""Generic constraint-satisfaction kit: backtracking and AC-3.
+
+The paper solves its encoding CSP "using Backtracking [Bitner 1975] and
+AC-3 [Mackworth 1977]" (Sec. I, Sec. III-B).  This module implements both
+as reusable algorithms over an explicit :class:`CSP` description; the
+FeReX-specific constraint construction lives in
+:mod:`repro.core.feasibility`.
+
+The kit supports:
+
+* n-ary constraints for backtracking (checked as soon as their scope is
+  fully assigned),
+* binary constraints for AC-3 arc pruning,
+* minimum-remaining-values variable ordering and forward checking,
+* full-solution enumeration (``solve_all``), which is what the paper means
+  by "if the objective is to obtain all possible current sets, AC3 can be
+  replaced by backtracking".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+Variable = Hashable
+Value = Any
+Assignment = Dict[Variable, Value]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An n-ary constraint over a scope of variables.
+
+    ``predicate`` receives the values of the scope variables, in scope
+    order, and returns True when they are jointly consistent.
+    """
+
+    scope: Tuple[Variable, ...]
+    predicate: Callable[..., bool]
+    name: str = ""
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        """True unless fully assigned *and* violated.
+
+        Partially assigned scopes are treated as consistent — standard
+        backtracking semantics.
+        """
+        values = []
+        for var in self.scope:
+            if var not in assignment:
+                return True
+            values.append(assignment[var])
+        return bool(self.predicate(*values))
+
+
+@dataclass
+class CSP:
+    """A finite-domain constraint-satisfaction problem."""
+
+    variables: List[Variable]
+    domains: Dict[Variable, List[Value]]
+    constraints: List[Constraint] = field(default_factory=list)
+
+    def __post_init__(self):
+        missing = [v for v in self.variables if v not in self.domains]
+        if missing:
+            raise ValueError(f"variables without domains: {missing}")
+        self._by_var: Dict[Variable, List[Constraint]] = {
+            v: [] for v in self.variables
+        }
+        for c in self.constraints:
+            for v in c.scope:
+                if v not in self._by_var:
+                    raise ValueError(
+                        f"constraint {c.name or c.scope} references unknown "
+                        f"variable {v!r}"
+                    )
+                self._by_var[v].append(c)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        self.constraints.append(constraint)
+        for v in constraint.scope:
+            self._by_var[v].append(constraint)
+
+    def constraints_on(self, var: Variable) -> List[Constraint]:
+        return self._by_var[var]
+
+    def binary_constraints(self) -> List[Constraint]:
+        return [c for c in self.constraints if len(c.scope) == 2]
+
+    def consistent(self, var: Variable, assignment: Assignment) -> bool:
+        """Is the assignment consistent for every constraint touching
+        ``var``?"""
+        return all(
+            c.satisfied(assignment) for c in self.constraints_on(var)
+        )
+
+
+# ----------------------------------------------------------------------
+# AC-3
+# ----------------------------------------------------------------------
+def ac3(
+    csp: CSP,
+    arcs: Optional[Sequence[Tuple[Variable, Variable, Constraint]]] = None,
+) -> bool:
+    """Enforce arc consistency over the binary constraints, in place.
+
+    Returns False if any domain wipes out (the CSP is infeasible), True
+    otherwise.  Only binary constraints participate; n-ary constraints are
+    left to backtracking, mirroring Algorithm 1 of the paper where AC-3
+    handles the pairwise cross-row (third) constraint.
+    """
+    queue: deque = deque()
+    if arcs is None:
+        for c in csp.binary_constraints():
+            x, y = c.scope
+            queue.append((x, y, c))
+            queue.append((y, x, c))
+    else:
+        queue.extend(arcs)
+
+    while queue:
+        x, y, c = queue.popleft()
+        if _revise(csp, x, y, c):
+            if not csp.domains[x]:
+                return False
+            for other in csp.binary_constraints():
+                if other is c:
+                    continue
+                if x in other.scope:
+                    a, b = other.scope
+                    neighbor = b if a == x else a
+                    queue.append((neighbor, x, other))
+    return True
+
+
+def _revise(csp: CSP, x: Variable, y: Variable, c: Constraint) -> bool:
+    """Remove values of ``x`` with no support in ``y`` under ``c``."""
+    a, b = c.scope
+
+    def check(vx: Value, vy: Value) -> bool:
+        if (a, b) == (x, y):
+            return bool(c.predicate(vx, vy))
+        return bool(c.predicate(vy, vx))
+
+    revised = False
+    supported = []
+    for vx in csp.domains[x]:
+        if any(check(vx, vy) for vy in csp.domains[y]):
+            supported.append(vx)
+        else:
+            revised = True
+    if revised:
+        csp.domains[x] = supported
+    return revised
+
+
+# ----------------------------------------------------------------------
+# Backtracking
+# ----------------------------------------------------------------------
+def backtracking_search(
+    csp: CSP,
+    use_mrv: bool = True,
+    forward_check: bool = True,
+) -> Optional[Assignment]:
+    """Find one solution, or None if the CSP is infeasible."""
+    for solution in solve_all(csp, use_mrv=use_mrv, forward_check=forward_check):
+        return solution
+    return None
+
+
+def solve_all(
+    csp: CSP,
+    use_mrv: bool = True,
+    forward_check: bool = True,
+    limit: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """Enumerate solutions lazily (optionally at most ``limit``)."""
+    domains = {v: list(csp.domains[v]) for v in csp.variables}
+    count = [0]
+
+    def select_var(assignment: Assignment) -> Optional[Variable]:
+        unassigned = [v for v in csp.variables if v not in assignment]
+        if not unassigned:
+            return None
+        if use_mrv:
+            return min(unassigned, key=lambda v: len(domains[v]))
+        return unassigned[0]
+
+    def prune(
+        var: Variable, assignment: Assignment
+    ) -> Optional[List[Tuple[Variable, List[Value]]]]:
+        """Forward-check: filter neighbour domains; None on wipe-out."""
+        undo: List[Tuple[Variable, List[Value]]] = []
+        for c in csp.constraints_on(var):
+            if len(c.scope) != 2:
+                continue
+            a, b = c.scope
+            other = b if a == var else a
+            if other in assignment:
+                continue
+
+            def ok(val: Value) -> bool:
+                trial = dict(assignment)
+                trial[other] = val
+                return c.satisfied(trial)
+
+            kept = [val for val in domains[other] if ok(val)]
+            if len(kept) != len(domains[other]):
+                undo.append((other, domains[other]))
+                domains[other] = kept
+                if not kept:
+                    _restore(undo)
+                    return None
+        return undo
+
+    def _restore(undo: List[Tuple[Variable, List[Value]]]) -> None:
+        for v, old in reversed(undo):
+            domains[v] = old
+
+    def rec(assignment: Assignment) -> Iterator[Assignment]:
+        if limit is not None and count[0] >= limit:
+            return
+        var = select_var(assignment)
+        if var is None:
+            count[0] += 1
+            yield dict(assignment)
+            return
+        for value in list(domains[var]):
+            assignment[var] = value
+            if csp.consistent(var, assignment):
+                undo = prune(var, assignment) if forward_check else []
+                if undo is not None:
+                    yield from rec(assignment)
+                    _restore(undo)
+            del assignment[var]
+
+    yield from rec({})

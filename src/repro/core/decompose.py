@@ -1,0 +1,107 @@
+"""``DecomposeDM`` — constraint 1 of the FeReX CSP.
+
+Paper Sec. III-B: a DM element ``I_{sch,sto}`` is decomposed into the
+per-FeFET currents of the K devices in the cell,
+
+    ``I_{sch,sto} = sum_i I_{sch,sto,i}``
+
+where each ``I_{sch,sto,i}`` is either 0 (the FeFET is OFF) or one of the
+allowed ON currents ``CR = [C1, C2, ... Cn]`` (integer multiples of the
+unit current, set by the multi-level drain voltage; Fig. 1(b) shows the
+two-level ``{1, 2}`` case used for Table II).
+
+``decompose`` enumerates every *ordered* K-tuple because the FeFETs of a
+cell are physically distinct columns (their drain lines carry individually
+chosen Vds levels).  The enumeration is memoised — the same (value, K, CR)
+triples recur for every DM element of every row.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+
+def decompose(
+    value: int,
+    k: int,
+    current_range: Sequence[int],
+) -> List[Tuple[int, ...]]:
+    """All ordered K-tuples over ``{0} | CR`` summing to ``value``.
+
+    Parameters
+    ----------
+    value:
+        Target DM element (non-negative integer, in unit currents).
+    k:
+        Number of FeFETs in the cell.
+    current_range:
+        Allowed ON current multiples, e.g. ``(1, 2)``; must be positive
+        and strictly increasing.
+
+    Returns
+    -------
+    list of tuples, lexicographically sorted.  Empty when the value cannot
+    be decomposed (e.g. value exceeds ``k * max(CR)``).
+
+    >>> decompose(2, 3, (1, 2))
+    [(0, 0, 2), (0, 1, 1), (0, 2, 0), (1, 0, 1), (1, 1, 0), (2, 0, 0)]
+    """
+    if value < 0:
+        raise ValueError("DM elements are non-negative")
+    if k < 1:
+        raise ValueError("a cell needs at least one FeFET")
+    cr = tuple(current_range)
+    if not cr:
+        raise ValueError("current range must be non-empty")
+    if any(c <= 0 for c in cr):
+        raise ValueError("ON currents must be positive")
+    if list(cr) != sorted(set(cr)):
+        raise ValueError("current range must be strictly increasing")
+    return list(_decompose_cached(value, k, cr))
+
+
+@lru_cache(maxsize=65536)
+def _decompose_cached(
+    value: int, k: int, cr: Tuple[int, ...]
+) -> Tuple[Tuple[int, ...], ...]:
+    choices = (0,) + cr
+    max_rest = max(cr)
+    out: List[Tuple[int, ...]] = []
+
+    def rec(remaining: int, slots: int, prefix: Tuple[int, ...]) -> None:
+        if slots == 0:
+            if remaining == 0:
+                out.append(prefix)
+            return
+        if remaining > slots * max_rest:
+            return  # cannot reach the target even with all-max slots
+        for c in choices:
+            if c <= remaining:
+                rec(remaining - c, slots - 1, prefix + (c,))
+
+    rec(value, k, ())
+    out.sort()
+    return tuple(out)
+
+
+def min_fefets_for(value: int, current_range: Sequence[int]) -> int:
+    """Smallest K that can realise a single DM element of this value.
+
+    Useful as the starting point of the cell-size search: the paper's
+    flow "iteratively increases the number of FeFETs within a cell", and
+    no cell smaller than ``ceil(max(DM) / max(CR))`` can work.
+    """
+    if value == 0:
+        return 1
+    cr = sorted(set(current_range))
+    if not cr or cr[0] <= 0:
+        raise ValueError("invalid current range")
+    top = cr[-1]
+    return -(-value // top)  # ceil division
+
+
+def decomposable(value: int, k: int, current_range: Sequence[int]) -> bool:
+    """True when at least one decomposition exists (cheap feasibility
+    pre-check run before the expensive row search)."""
+    return bool(decompose(value, k, current_range))

@@ -1,0 +1,357 @@
+"""FeReX — the reconfigurable in-memory nearest-neighbor search engine.
+
+This is the library's main entry point, tying together the whole stack:
+
+1. **configure** — derive the voltage encoding for the requested distance
+   function, either through the paper's CSP pipeline (Alg. 1 + Fig. 5
+   post-processing) or the closed-form constructive encoder for wide
+   alphabets;
+2. **program** — map stored vectors onto the 1FeFET1R crossbar (each
+   element fans out to the cell's K FeFETs);
+3. **search** — drive the query's search/drain voltages, aggregate row
+   currents, and let the loser-take-all pick the nearest stored vector.
+
+Reconfiguring the same physical array for another metric is a matter of
+constructing a new engine over the same technology — no circuit change,
+which is the paper's headline claim (Table I: "HD / L1 / L2").
+
+Example
+-------
+>>> import numpy as np
+>>> engine = FeReX(metric="hamming", bits=2, dims=4, seed=1)
+>>> stored = np.array([[0, 1, 2, 3], [3, 2, 1, 0], [0, 0, 0, 0]])
+>>> engine.program(stored)
+>>> result = engine.search([0, 1, 2, 2])
+>>> result.winner
+0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..arch.crossbar import FeReXArray, SearchResult
+from ..devices.tech import TechConfig, DEFAULT_TECH
+from ..devices.variation import ArrayVariation, VariationSampler
+from .constructive import constructive_cell, has_constructive
+from .dm import DistanceMatrix
+from .distance import DistanceMetric, get_metric
+from .encoding import CellEncoding, best_encoding, encode_cell
+from .feasibility import find_min_cell
+
+
+class ConfigurationError(RuntimeError):
+    """Raised when no feasible encoding exists for the request."""
+
+
+@dataclass
+class EngineSearchResult:
+    """Search outcome at the application level."""
+
+    #: Index of the stored vector the LTA selected.
+    winner: int
+    #: Hardware distance reading per stored vector (unit currents,
+    #: includes analog noise/leakage).
+    hardware_distances: np.ndarray
+    #: Raw array-level result (currents, timing, energy).
+    array_result: SearchResult
+
+    @property
+    def latency(self) -> float:
+        """Search latency, seconds."""
+        return self.array_result.timing.total
+
+    @property
+    def energy(self) -> float:
+        """Search energy, joules."""
+        return self.array_result.energy.total
+
+
+class FeReX:
+    """A FeReX engine configured for one distance function.
+
+    Parameters
+    ----------
+    metric:
+        Registered metric name ("hamming", "manhattan", "euclidean") or a
+        :class:`DistanceMetric` instance.
+    bits:
+        Bit width of each vector element.
+    dims:
+        Number of vector elements (cells per row).
+    encoder:
+        "csp" runs Algorithm 1 and picks the cheapest feasible cell;
+        "constructive" uses the closed-form thermometer cells;
+        "auto" (default) runs the CSP when the DM is small (alphabet <= 4
+        values and entries <= 4 units — covers 1-2 bit Hamming/Manhattan
+        and 1-bit Euclidean) and falls back to the constructive encoding
+        otherwise.
+    max_k:
+        Cell-size cap for the CSP search.
+    current_range:
+        Allowed per-FeFET ON-current multiples for the CSP search
+        (default: 1 .. the technology's drain-selector maximum).  Deeper
+        ranges trade drain rails for smaller cells — see the Vds-levels
+        ablation bench.
+    tech:
+        Technology configuration; the engine specialises the FeFET ladder
+        and drain-selector range to what the chosen encoding needs.
+    variation / seed:
+        Optional explicit :class:`ArrayVariation` or a seed from which the
+        engine samples variation at ``program`` time.  Default: ideal
+        devices.
+    """
+
+    def __init__(
+        self,
+        metric: "str | DistanceMetric" = "hamming",
+        bits: int = 2,
+        dims: int = 16,
+        encoder: str = "auto",
+        max_k: int = 8,
+        current_range: Optional[Sequence[int]] = None,
+        tech: Optional[TechConfig] = None,
+        variation: Optional[ArrayVariation] = None,
+        seed: Optional[int] = None,
+    ):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.metric = (
+            get_metric(metric) if isinstance(metric, str) else metric
+        )
+        self.bits = bits
+        self.dims = dims
+        self.dm = DistanceMatrix.from_metric(self.metric, bits)
+        self.encoding = self._configure(encoder, max_k, current_range)
+        self.tech = self._specialise_tech(tech or DEFAULT_TECH)
+        self._variation = variation
+        self._seed = seed
+        self.array: Optional[FeReXArray] = None
+        self.stored: Optional[np.ndarray] = None
+
+        # Precomputed per-value lookup tables for fast vector mapping.
+        n_values = self.dm.n_stored
+        k = self.encoding.k
+        self._store_lut = np.array(
+            [self.encoding.store_levels_for(v) for v in range(n_values)],
+            dtype=int,
+        )
+        fefet = self.tech.fefet
+        volts = np.empty((self.dm.n_search, k))
+        mults = np.empty((self.dm.n_search, k), dtype=int)
+        for v in range(self.dm.n_search):
+            vv, mm = self.encoding.search_voltages_for(v, fefet)
+            volts[v] = vv
+            mults[v] = mm
+        self._search_volt_lut = volts
+        self._search_mult_lut = mults
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def _configure(
+        self,
+        encoder: str,
+        max_k: int,
+        current_range: Optional[Sequence[int]],
+    ) -> CellEncoding:
+        if encoder not in ("auto", "csp", "constructive"):
+            raise ValueError(f"unknown encoder mode {encoder!r}")
+        if encoder == "auto":
+            small_dm = self.dm.n_stored <= 4 and self.dm.max_value <= 4
+            if small_dm or not has_constructive(self.metric.name):
+                encoder = "csp"
+            else:
+                encoder = "constructive"
+        if encoder == "constructive":
+            if not has_constructive(self.metric.name):
+                raise ConfigurationError(
+                    f"no constructive encoding for {self.metric.name!r}; "
+                    "use encoder='csp'"
+                )
+            solution = constructive_cell(self.metric.name, self.bits)
+            return encode_cell(solution, self.metric.name, self.bits)
+
+        if current_range is None:
+            current_range = tuple(
+                range(1, DEFAULT_TECH.cell.max_vds_multiple + 1)
+            )
+        result = find_min_cell(
+            self.dm,
+            current_range=tuple(current_range),
+            max_k=max_k,
+        )
+        if not result.feasible or result.solution is None:
+            raise ConfigurationError(
+                f"no feasible cell with K <= {max_k} for "
+                f"{self.metric.name}/{self.bits}-bit"
+            )
+        encoding = best_encoding(
+            self.dm,
+            result.k,
+            result.current_range,
+            metric_name=self.metric.name,
+            bits=self.bits,
+        )
+        if encoding is None:
+            raise ConfigurationError("feasible region vanished on re-walk")
+        return encoding
+
+    def _specialise_tech(self, tech: TechConfig) -> TechConfig:
+        """Give the device ladder and drain selector exactly the depth the
+        encoding requires."""
+        fefet = dataclasses.replace(
+            tech.fefet, n_vth_levels=self.encoding.n_ladder_levels
+        )
+        cell = dataclasses.replace(
+            tech.cell,
+            max_vds_multiple=max(
+                self.encoding.max_vds_multiple, tech.cell.max_vds_multiple
+            ),
+        )
+        return dataclasses.replace(tech, fefet=fefet, cell=cell)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """FeFETs per cell."""
+        return self.encoding.k
+
+    @property
+    def physical_cols(self) -> int:
+        """FeFET columns the array needs for ``dims`` elements."""
+        return self.dims * self.k
+
+    @property
+    def n_values(self) -> int:
+        """Alphabet size ``2**bits``."""
+        return 1 << self.bits
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def program(self, vectors: np.ndarray) -> None:
+        """Write the stored vectors into a freshly built crossbar.
+
+        ``vectors`` is (n_vectors, dims) with integer entries in
+        ``[0, 2**bits)``.
+        """
+        vectors = np.asarray(vectors, dtype=int)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dims:
+            raise ValueError(
+                f"expected (n, {self.dims}) vectors, got {vectors.shape}"
+            )
+        if vectors.min() < 0 or vectors.max() >= self.n_values:
+            raise ValueError(
+                f"vector values outside [0, {self.n_values})"
+            )
+        rows = vectors.shape[0]
+        if rows < 1:
+            raise ValueError("need at least one stored vector")
+
+        variation = self._variation
+        if variation is None and self._seed is not None:
+            sampler = VariationSampler(
+                self.tech.variation, seed=self._seed
+            )
+            variation = sampler.sample_array(rows, self.physical_cols)
+
+        self.array = FeReXArray(
+            rows=rows,
+            physical_cols=self.physical_cols,
+            tech=self.tech,
+            variation=variation,
+        )
+        levels = self._store_lut[vectors].reshape(rows, self.physical_cols)
+        self.array.program_matrix(levels)
+        self.stored = vectors.copy()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _query_bias(self, query: Sequence[int]):
+        query = np.asarray(query, dtype=int)
+        if query.shape != (self.dims,):
+            raise ValueError(
+                f"expected a {self.dims}-element query, got {query.shape}"
+            )
+        if query.min() < 0 or query.max() >= self.n_values:
+            raise ValueError(f"query values outside [0, {self.n_values})")
+        sl = self._search_volt_lut[query].reshape(self.physical_cols)
+        dl = self._search_mult_lut[query].reshape(self.physical_cols)
+        return sl, dl
+
+    def search(self, query: Sequence[int]) -> EngineSearchResult:
+        """Nearest-neighbor search for one query vector."""
+        if self.array is None:
+            raise RuntimeError("program() must be called before search()")
+        sl, dl = self._query_bias(query)
+        result = self.array.search(sl, dl)
+        return EngineSearchResult(
+            winner=result.winner,
+            hardware_distances=result.row_units,
+            array_result=result,
+        )
+
+    def search_batch(self, queries: np.ndarray):
+        """Vectorised nearest-neighbor search over a query batch.
+
+        Returns a :class:`repro.arch.crossbar.BatchSearchResult`;
+        electrically equivalent to looping :meth:`search` but orders of
+        magnitude faster to simulate.
+        """
+        if self.array is None:
+            raise RuntimeError("program() must be called before search")
+        queries = np.asarray(queries, dtype=int)
+        if queries.ndim != 2 or queries.shape[1] != self.dims:
+            raise ValueError(
+                f"expected (n, {self.dims}) queries, got {queries.shape}"
+            )
+        if queries.size and (
+            queries.min() < 0 or queries.max() >= self.n_values
+        ):
+            raise ValueError(f"query values outside [0, {self.n_values})")
+        n = queries.shape[0]
+        sl = self._search_volt_lut[queries].reshape(n, self.physical_cols)
+        dl = self._search_mult_lut[queries].reshape(n, self.physical_cols)
+        return self.array.search_batch(sl, dl)
+
+    def search_k(
+        self, query: Sequence[int], k: int
+    ) -> List[EngineSearchResult]:
+        """k-nearest search via iterative LTA masking."""
+        if self.array is None:
+            raise RuntimeError("program() must be called before search()")
+        sl, dl = self._query_bias(query)
+        results = self.array.search_k(sl, dl, k)
+        return [
+            EngineSearchResult(
+                winner=r.winner,
+                hardware_distances=r.row_units,
+                array_result=r,
+            )
+            for r in results
+        ]
+
+    # ------------------------------------------------------------------
+    # Software reference
+    # ------------------------------------------------------------------
+    def software_distances(self, query: Sequence[int]) -> np.ndarray:
+        """Exact digital distances to every stored vector (the baseline
+        hardware accuracy is judged against)."""
+        if self.stored is None:
+            raise RuntimeError("program() must be called first")
+        query = np.asarray(query, dtype=int).reshape(1, -1)
+        return self.metric.pairwise(query, self.stored, self.bits)[0]
+
+    def software_nearest(self, query: Sequence[int]) -> int:
+        """Index of the true nearest stored vector."""
+        return int(np.argmin(self.software_distances(query)))

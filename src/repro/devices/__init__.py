@@ -1,0 +1,56 @@
+"""Device-physics substrate: FeFET, ferroelectric hysteresis, 1FeFET1R cell,
+technology constants and process variation.
+
+These models stand in for the Cadence Virtuoso + Preisach-SPICE stack the
+paper simulates with (see DESIGN.md section 4 for the substitution
+rationale).
+"""
+
+from .cell import OneFeFETOneR
+from .fefet import FeFET, drain_current, is_on, saturation_current
+from .preisach import (
+    PreisachFerroelectric,
+    ascending_branch,
+    descending_branch,
+    polarization_to_vth,
+    program_pulse_for_vth,
+    vth_to_polarization,
+)
+from .tech import (
+    DEFAULT_TECH,
+    CellParams,
+    DriverParams,
+    FeFETParams,
+    LTAParams,
+    OpAmpParams,
+    TechConfig,
+    VariationParams,
+    WireParams,
+)
+from .variation import ArrayVariation, VariationSampler, nominal_variation
+
+__all__ = [
+    "ArrayVariation",
+    "CellParams",
+    "DEFAULT_TECH",
+    "DriverParams",
+    "FeFET",
+    "FeFETParams",
+    "LTAParams",
+    "OneFeFETOneR",
+    "OpAmpParams",
+    "PreisachFerroelectric",
+    "TechConfig",
+    "VariationParams",
+    "VariationSampler",
+    "WireParams",
+    "ascending_branch",
+    "descending_branch",
+    "drain_current",
+    "is_on",
+    "nominal_variation",
+    "polarization_to_vth",
+    "program_pulse_for_vth",
+    "saturation_current",
+    "vth_to_polarization",
+]

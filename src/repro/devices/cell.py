@@ -1,0 +1,136 @@
+"""The 1FeFET1R compute cell.
+
+One multi-level FeFET in series with a megaohm-class resistor
+[Soliman, IEDM 2020; Saito, VLSI 2021].  The resistor linearises the ON
+current: once the FeFET is ON its channel resistance is far below ``R``, so
+the current is clamped to ``Vds / R`` and becomes insensitive to the exact
+threshold voltage — the property that makes multi-level sensing robust
+(paper Sec. II-A, Fig. 1(b)).
+
+Two evaluation paths are provided:
+
+* :meth:`OneFeFETOneR.current_exact` solves the series FeFET+R network by
+  bisection on the internal node voltage — the behavioural stand-in for the
+  SPICE co-simulation;
+* :meth:`OneFeFETOneR.current_fast` applies the paper's closed form
+  ``I = min(Isat, Vds / R)`` when ON and the subthreshold floor when OFF —
+  the abstraction used at array scale.
+
+The agreement of the two paths is itself a regression test
+(``tests/devices/test_cell.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .fefet import drain_current
+from .tech import CellParams, FeFETParams
+
+
+class OneFeFETOneR:
+    """A 1FeFET1R cell with explicit (possibly varied) R and Vth.
+
+    Parameters
+    ----------
+    vth:
+        Threshold voltage of the FeFET, volts (after any variation).
+    resistance:
+        Series resistor value, ohms (after any variation).  Defaults to the
+        nominal value in ``cell_params``.
+    """
+
+    def __init__(
+        self,
+        vth: float,
+        resistance: Optional[float] = None,
+        fefet_params: Optional[FeFETParams] = None,
+        cell_params: Optional[CellParams] = None,
+    ):
+        self.fefet_params = fefet_params or FeFETParams()
+        self.cell_params = cell_params or CellParams()
+        self.vth = vth
+        self.resistance = (
+            resistance if resistance is not None else self.cell_params.resistance
+        )
+        if self.resistance <= 0:
+            raise ValueError("series resistance must be positive")
+
+    # ------------------------------------------------------------------
+    # Exact series solution
+    # ------------------------------------------------------------------
+    def current_exact(self, vgs: float, vds: float, tol: float = 1e-12) -> float:
+        """Solve the series network for the cell current, amps.
+
+        The resistor sits at the drain side: the FeFET sees
+        ``vds_fet = vds - I * R`` while its gate-source voltage is the
+        applied ``vgs`` (the source is held at the op-amp virtual rail).
+        Solved by bisection on ``I`` in ``[0, vds / R]``: the function
+        ``f(I) = drain_current(vgs, vds - I*R) - I`` is decreasing in ``I``.
+        """
+        if vds < 0:
+            raise ValueError("vds must be >= 0")
+        if vds == 0.0:
+            return 0.0
+        lo, hi = 0.0, vds / self.resistance
+
+        def mismatch(i: float) -> float:
+            vds_fet = max(0.0, vds - i * self.resistance)
+            return drain_current(vgs, vds_fet, self.vth, self.fefet_params) - i
+
+        # If even at I = 0 the transistor cannot source the clamp current,
+        # the transistor limits; bisection still converges.
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if mismatch(mid) > 0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol:
+                break
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Paper's closed form
+    # ------------------------------------------------------------------
+    def current_fast(self, vgs: float, vds: float) -> float:
+        """Closed-form cell current ``min(Isat, Vds / R)`` (paper Sec. II-A).
+
+        OFF devices return the subthreshold current of the bare FeFET
+        (bounded above by the clamp), which is negligible against one
+        current unit but not exactly zero — Monte Carlo accuracy studies
+        need the leakage floor.
+        """
+        if vds < 0:
+            raise ValueError("vds must be >= 0")
+        if vds == 0.0:
+            return 0.0
+        clamp = vds / self.resistance
+        if vgs <= self.vth:
+            off = drain_current(vgs, min(vds, 0.05), self.vth, self.fefet_params)
+            return min(off, clamp)
+        sat = drain_current(vgs, max(vgs - self.vth, 0.0) + 0.1, self.vth, self.fefet_params)
+        return min(sat, clamp)
+
+    def is_clamped(self, vgs: float, vds: float) -> bool:
+        """True when the resistor (not the transistor) limits the current —
+        the regime FeReX operates in for every ON condition."""
+        if vgs <= self.vth or vds <= 0:
+            return False
+        clamp = vds / self.resistance
+        sat = drain_current(
+            vgs, max(vgs - self.vth, 0.0) + 0.1, self.vth, self.fefet_params
+        )
+        return clamp <= sat
+
+    def current_units(self, vgs: float, vds_multiple: int) -> float:
+        """Cell current expressed in units of ``I_unit = vds_unit / R_nom``.
+
+        ``vds_multiple`` is the integer drain level the drain-voltage
+        selector applies (paper: "all Vds values are integer multiples of
+        the minimum Vds value").
+        """
+        if vds_multiple < 0:
+            raise ValueError("vds multiple must be >= 0")
+        vds = vds_multiple * self.cell_params.vds_unit
+        return self.current_fast(vgs, vds) / self.cell_params.unit_current

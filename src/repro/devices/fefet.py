@@ -1,0 +1,141 @@
+"""Transistor-level I-V model of the multi-level FeFET.
+
+A FeFET is a MOSFET whose threshold voltage is set by the remanent
+polarization of the ferroelectric gate layer (see
+:mod:`repro.devices.preisach`).  For FeReX only three operating facts matter
+(paper Fig. 1):
+
+1. below threshold the device is effectively OFF (exponential subthreshold
+   decay, nanoamp and below);
+2. above threshold the device conducts with the usual square-law linear /
+   saturation characteristic;
+3. with a large series resistor the operating point sits deep in the linear
+   region, so the cell current is ``Vds / R`` regardless of ``Vth`` detail.
+
+This module provides fact 1 and 2; :mod:`repro.devices.cell` composes them
+with the resistor for fact 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .tech import THERMAL_VOLTAGE, FeFETParams
+
+
+def drain_current(
+    vgs: float,
+    vds: float,
+    vth: float,
+    params: Optional[FeFETParams] = None,
+) -> float:
+    """Drain current of a bare FeFET (no series resistor), amps.
+
+    Piecewise square-law model:
+
+    * ``vgs <= vth``: subthreshold exponential with floor ``i_off_floor``;
+    * ``vds < vgs - vth``: linear (triode) region;
+    * otherwise: saturation with channel-length modulation, capped at
+      ``i_sat_max``.
+
+    Negative ``vds`` is not supported (the crossbar always biases DL above
+    ScL); zero ``vds`` returns zero current.
+    """
+    params = params or FeFETParams()
+    if vds < 0:
+        raise ValueError("fefet model is unidirectional: vds must be >= 0")
+    if vds == 0.0:
+        return 0.0
+
+    vov = vgs - vth  # overdrive
+    if vov <= 0:
+        # Subthreshold conduction.
+        i_sub = params.i0_subthreshold * math.exp(
+            vov / (params.subthreshold_ideality * THERMAL_VOLTAGE)
+        )
+        return max(params.i_off_floor, min(i_sub, params.i_sat_max))
+
+    if vds < vov:
+        ids = params.k_factor * (vov * vds - 0.5 * vds * vds)
+    else:
+        ids = (
+            0.5
+            * params.k_factor
+            * vov
+            * vov
+            * (1.0 + params.channel_lambda * vds)
+        )
+    return min(ids, params.i_sat_max)
+
+
+def is_on(vgs: float, vth: float) -> bool:
+    """True when the FeFET conducts meaningfully (``vgs`` above ``vth``).
+
+    This is the digital abstraction the encoding algorithm reasons with; the
+    analog model above is used when simulating actual array currents.
+    """
+    return vgs > vth
+
+
+def saturation_current(vgs: float, vth: float, params: Optional[FeFETParams] = None) -> float:
+    """Saturation-region current for the given overdrive, amps."""
+    params = params or FeFETParams()
+    vov = vgs - vth
+    if vov <= 0:
+        return params.i_off_floor
+    return min(0.5 * params.k_factor * vov * vov, params.i_sat_max)
+
+
+class FeFET:
+    """A single multi-level FeFET with a programmable threshold.
+
+    Wraps the Preisach gate-stack model for programming and the square-law
+    I-V for read-out.  The threshold may also be forced directly (used by
+    the Monte Carlo harness to inject device-to-device variation sampled
+    once per physical device).
+    """
+
+    def __init__(self, params: Optional[FeFETParams] = None):
+        from .preisach import PreisachFerroelectric, polarization_to_vth
+
+        self.params = params or FeFETParams()
+        self._stack = PreisachFerroelectric(self.params)
+        self._stack.reset()
+        self._vth_offset = 0.0
+        self._polarization_to_vth = polarization_to_vth
+
+    @property
+    def vth(self) -> float:
+        """Present threshold voltage, including any injected offset."""
+        nominal = self._polarization_to_vth(
+            self._stack.polarization, self.params
+        )
+        return nominal + self._vth_offset
+
+    def set_vth_offset(self, offset: float) -> None:
+        """Inject a static threshold offset (device-to-device variation)."""
+        self._vth_offset = offset
+
+    def erase(self) -> None:
+        """Apply a strong negative pulse: polarization to -Pr, highest Vth."""
+        self._stack.reset()
+
+    def program_level(self, level: int, width: Optional[float] = None) -> float:
+        """Erase-then-program the device to MLC state ``level``.
+
+        Returns the resulting nominal threshold voltage.  Level 0 is the
+        lowest threshold, matching ``Vt0 < Vt1 < Vt2``.
+        """
+        from .preisach import program_pulse_for_vth
+
+        target = self.params.vth_level(level)
+        self._stack.reset()
+        if target < self.params.vth_low + self.params.memory_window - 1e-9:
+            amplitude = program_pulse_for_vth(target, self.params, width)
+            self._stack.apply_pulse(amplitude, width)
+        return self.vth
+
+    def current(self, vgs: float, vds: float) -> float:
+        """Read current at the given bias, amps (threshold includes offset)."""
+        return drain_current(vgs, vds, self.vth, self.params)

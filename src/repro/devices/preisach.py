@@ -1,0 +1,272 @@
+"""Preisach-style hysteresis model of the ferroelectric gate stack.
+
+The paper adopts the circuit-compatible Preisach compact model of
+[Ni et al., VLSI 2018] inside Cadence.  This module is a behavioural Python
+port of the parts that matter to FeReX:
+
+* a saturated major loop ``P(V)`` built from shifted ``tanh`` branches,
+* history-dependent *minor loops* realised with the classical Preisach
+  turning-point construction (each field reversal pushes a turning point on
+  a stack; branches are scaled so the loop closes through the last turning
+  point — the "wiping-out" and "congruency" properties of the Preisach
+  operator),
+* pulse-width/amplitude programming: a longer pulse acts like a larger
+  effective amplitude through a logarithmic pulse-width term, matching the
+  experimentally observed nucleation-limited-switching behaviour the paper
+  summarises as "if the duration of a given positive voltage pulse
+  increases, the Vth will shift lower accordingly",
+* a linear polarization-to-threshold map producing the multi-level ``Vth``
+  that the rest of FeReX consumes.
+
+Only quasi-static programming is modelled (one polarization update per
+pulse); the read path never disturbs polarization because read voltages stay
+far below the coercive voltage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .tech import FeFETParams
+
+
+def _branch_delta(params: FeFETParams) -> float:
+    """Steepness parameter of the tanh switching branches.
+
+    Chosen exactly as in the compact model so that the ascending branch
+    passes through ``+Pr`` at ``V = 0`` (remanence) and saturates at
+    ``+Ps``:  ``delta = Vc / atanh(Pr / Ps)``.
+    """
+    ratio = params.remanent_polarization / params.saturation_polarization
+    return params.coercive_voltage / math.atanh(ratio)
+
+
+def ascending_branch(v: float, params: FeFETParams) -> float:
+    """Polarization of the major ascending (set) branch at gate voltage ``v``."""
+    delta = _branch_delta(params)
+    return params.saturation_polarization * math.tanh(
+        (v - params.coercive_voltage) / delta
+    )
+
+
+def descending_branch(v: float, params: FeFETParams) -> float:
+    """Polarization of the major descending (reset) branch at ``v``."""
+    delta = _branch_delta(params)
+    return params.saturation_polarization * math.tanh(
+        (v + params.coercive_voltage) / delta
+    )
+
+
+@dataclass(frozen=True)
+class _Trajectory:
+    """One hysteresis trajectory: the scaled major branch through an
+    anchor point, saturating at +-Ps in its sweep direction."""
+
+    anchor_v: float
+    anchor_p: float
+    direction: int  # +1 ascending, -1 descending
+
+    def evaluate(self, v: float, params: FeFETParams) -> float:
+        branch = (
+            ascending_branch if self.direction > 0 else descending_branch
+        )
+        sat = math.copysign(
+            params.saturation_polarization, self.direction
+        )
+        start = branch(self.anchor_v, params)
+        if abs(sat - start) < 1e-18:
+            return sat
+        scale = (sat - self.anchor_p) / (sat - start)
+        return sat - (sat - branch(v, params)) * scale
+
+
+@dataclass(frozen=True)
+class _ReversalFrame:
+    """A turning point plus the trajectory that was active before it —
+    what Madelung's rules resume when the minor loop closes."""
+
+    v_rev: float
+    p_rev: float
+    previous: _Trajectory
+
+
+class PreisachFerroelectric:
+    """Stateful hysteresis operator for one FeFET gate stack.
+
+    Implements Madelung's rules (the scalar-Preisach behaviour):
+
+    1. from any reversal point the polarization follows the major branch
+       rescaled to pass through that point and saturate at +-Ps;
+    2. when a sweep reaches an earlier reversal point, the minor loop
+       closes exactly and the trajectory that was active *before* that
+       earlier reversal resumes (wiping-out / return-point memory).
+
+    ``apply_voltage`` moves the state quasi-statically; ``apply_pulse``
+    folds pulse width into an effective amplitude first.
+
+    Polarization is reported in C/m^2 within ``[-Ps, +Ps]``; at zero field
+    the reachable range is ``[-Pr, +Pr]``.
+    """
+
+    def __init__(self, params: Optional[FeFETParams] = None):
+        self.params = params or FeFETParams()
+        self._polarization = -self.params.remanent_polarization
+        self._last_voltage = 0.0
+        self._trajectory: Optional[_Trajectory] = None
+        self._stack: List[_ReversalFrame] = []
+
+    @property
+    def polarization(self) -> float:
+        """Current polarization, C/m^2."""
+        return self._polarization
+
+    def reset(self) -> None:
+        """Return to the fully erased state (negative remanence, history
+        cleared)."""
+        self._stack.clear()
+        self._trajectory = None
+        self._polarization = -self.params.remanent_polarization
+        self._last_voltage = 0.0
+
+    # ------------------------------------------------------------------
+    # Quasi-static sweeps
+    # ------------------------------------------------------------------
+    def apply_voltage(self, v: float) -> float:
+        """Quasi-statically sweep the gate to voltage ``v`` and return the
+        resulting polarization."""
+        p = self.params
+        if v == self._last_voltage:
+            return self._polarization
+
+        direction = 1 if v > self._last_voltage else -1
+        if self._trajectory is None:
+            # Virgin curve: anchored at the pristine state.
+            self._trajectory = _Trajectory(
+                self._last_voltage, self._polarization, direction
+            )
+        elif direction != self._trajectory.direction:
+            # Reversal: remember the turning point and the trajectory it
+            # interrupts, then start a new scaled branch from here.
+            self._stack.append(
+                _ReversalFrame(
+                    self._last_voltage,
+                    self._polarization,
+                    self._trajectory,
+                )
+            )
+            self._trajectory = _Trajectory(
+                self._last_voltage, self._polarization, direction
+            )
+
+        # Wiping-out: passing the previous same-direction extremum closes
+        # the minor loop; resume the trajectory that was active before it.
+        while len(self._stack) >= 2:
+            outer = self._stack[-2]
+            passed = (
+                v >= outer.v_rev if direction > 0 else v <= outer.v_rev
+            )
+            if not passed:
+                break
+            self._trajectory = outer.previous
+            del self._stack[-2:]
+
+        target = self._trajectory.evaluate(v, p)
+        limit = p.saturation_polarization
+        self._polarization = max(-limit, min(limit, target))
+        self._last_voltage = v
+        return self._polarization
+
+    def release(self) -> float:
+        """Remove the applied field (sweep back to 0 V) and return the
+        remanent polarization that the FeFET retains."""
+        return self.apply_voltage(0.0)
+
+    # ------------------------------------------------------------------
+    # Pulse programming
+    # ------------------------------------------------------------------
+    def effective_amplitude(self, v_pulse: float, width: float) -> float:
+        """Translate (amplitude, width) into an equivalent quasi-static
+        amplitude.
+
+        Nucleation-limited switching makes switched charge roughly linear in
+        ``log(width)`` over many decades; the compact model captures it as an
+        amplitude boost of ``pulse_width_slope`` volts per decade relative to
+        the reference width.
+        """
+        if width <= 0:
+            raise ValueError("pulse width must be positive")
+        if v_pulse == 0.0:
+            return 0.0
+        p = self.params
+        decades = math.log10(width / p.reference_pulse_width)
+        boost = p.pulse_width_slope * decades
+        sign = 1.0 if v_pulse > 0 else -1.0
+        return v_pulse + sign * boost
+
+    def apply_pulse(self, v_pulse: float, width: Optional[float] = None) -> float:
+        """Apply one programming pulse and return the remanent polarization.
+
+        The pulse is modelled as a quasi-static excursion to the effective
+        amplitude followed by a return to 0 V.
+        """
+        width = width if width is not None else self.params.reference_pulse_width
+        v_eff = self.effective_amplitude(v_pulse, width)
+        self.apply_voltage(v_eff)
+        return self.release()
+
+
+def polarization_to_vth(polarization: float, params: FeFETParams) -> float:
+    """Map remanent polarization to threshold voltage.
+
+    Full positive remanence (+Pr, set) gives the lowest threshold
+    ``vth_low``; full negative remanence (-Pr, erased) gives
+    ``vth_low + memory_window``.  The map is linear in between, which is the
+    standard charge-sheet approximation ``dVth = -dP * t_fe / eps``.
+    """
+    pr = params.remanent_polarization
+    frac = (pr - polarization) / (2.0 * pr)
+    frac = max(0.0, min(1.0, frac))
+    return params.vth_low + frac * params.memory_window
+
+
+def vth_to_polarization(vth: float, params: FeFETParams) -> float:
+    """Inverse of :func:`polarization_to_vth` (clamped to the valid window)."""
+    frac = (vth - params.vth_low) / params.memory_window
+    frac = max(0.0, min(1.0, frac))
+    pr = params.remanent_polarization
+    return pr - 2.0 * pr * frac
+
+
+def program_pulse_for_vth(
+    target_vth: float,
+    params: FeFETParams,
+    width: Optional[float] = None,
+    tolerance: float = 1e-4,
+) -> float:
+    """Find the positive programming amplitude that lands on ``target_vth``.
+
+    Starts from the erased state (the standard erase-before-program flow the
+    write-inhibition scheme assumes) and bisects the pulse amplitude.
+    Returns the amplitude in volts.
+    """
+    width = width if width is not None else params.reference_pulse_width
+    lo, hi = 0.0, params.coercive_voltage * 4.0
+
+    def vth_after(amp: float) -> float:
+        dev = PreisachFerroelectric(params)
+        dev.reset()
+        pol = dev.apply_pulse(amp, width)
+        return polarization_to_vth(pol, params)
+
+    # vth_after is monotonically decreasing in amplitude.
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if vth_after(mid) > target_vth:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return 0.5 * (lo + hi)

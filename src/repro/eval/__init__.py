@@ -1,0 +1,25 @@
+"""Evaluation substrate: GPU baseline, Monte Carlo harness, reporting."""
+
+from .gpu_model import GPUCostModel, GPUEstimate, GPUSpec
+from .montecarlo import (
+    MCAccuracyResult,
+    MCSearchResult,
+    MonteCarloKNNAccuracy,
+    MonteCarloSearch,
+    build_distance_probe,
+)
+from .reporting import engineering, format_series, format_table
+
+__all__ = [
+    "GPUCostModel",
+    "GPUEstimate",
+    "GPUSpec",
+    "MCAccuracyResult",
+    "MCSearchResult",
+    "MonteCarloKNNAccuracy",
+    "MonteCarloSearch",
+    "build_distance_probe",
+    "engineering",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,89 @@
+"""ASCII table/series rendering for the benchmark harness.
+
+Every bench regenerates the corresponding paper artifact (table rows or
+figure series) as plain text so results diff cleanly in CI logs and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[Sequence[float]],
+    title: str = "",
+    series_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render one or more (x, y...) series as a table — the text stand-in
+    for a paper figure."""
+    if not points:
+        raise ValueError("series needs at least one point")
+    n_series = len(points[0]) - 1
+    if n_series < 1:
+        raise ValueError("points must carry at least one y value")
+    if series_names is None:
+        series_names = (
+            [y_label]
+            if n_series == 1
+            else [f"{y_label}[{i}]" for i in range(n_series)]
+        )
+    headers = [x_label, *series_names]
+    return format_table(headers, points, title=title)
+
+
+def engineering(value: float, unit: str) -> str:
+    """Format with engineering prefixes (1.3e-12, 'J' -> '1.3 pJ')."""
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+        (1e-15, "f"), (1e-18, "a"),
+    ]
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.3g} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.3g} {prefix}{unit}"

@@ -1,0 +1,143 @@
+"""Synthetic dataset generators: shapes, determinism, Table III specs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import (
+    TABLE_III,
+    make_dataset,
+    make_isolet,
+    make_mnist,
+    make_ucihar,
+    quantize_features,
+)
+
+
+class TestTableIIISpecs:
+    @pytest.mark.parametrize("name", ["ISOLET", "UCIHAR", "MNIST"])
+    def test_feature_and_class_counts(self, name):
+        n, k, _, _, _ = TABLE_III[name]
+        ds = make_dataset(name, train_size=200, test_size=50)
+        assert ds.n_features == n
+        assert ds.n_classes == k
+
+    def test_default_sizes_match_paper(self):
+        """Table III split sizes are the generator defaults."""
+        import inspect
+
+        assert inspect.signature(make_isolet).parameters[
+            "train_size"
+        ].default == 6238
+        assert inspect.signature(make_ucihar).parameters[
+            "test_size"
+        ].default == 1554
+        assert inspect.signature(make_mnist).parameters[
+            "train_size"
+        ].default == 60000
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_isolet(train_size=50, test_size=10, seed=1)
+        b = make_isolet(train_size=50, test_size=10, seed=1)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_different_seed_different_data(self):
+        a = make_isolet(train_size=50, test_size=10, seed=1)
+        b = make_isolet(train_size=50, test_size=10, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_mnist_deterministic(self):
+        a = make_mnist(train_size=20, test_size=5, seed=3)
+        b = make_mnist(train_size=20, test_size=5, seed=3)
+        assert np.array_equal(a.train_x, b.train_x)
+
+
+class TestRanges:
+    @pytest.mark.parametrize("name", ["ISOLET", "UCIHAR", "MNIST"])
+    def test_features_in_unit_interval(self, name):
+        ds = make_dataset(name, train_size=100, test_size=30)
+        for x in (ds.train_x, ds.test_x):
+            assert x.min() >= 0.0
+            assert x.max() <= 1.0
+
+    def test_labels_in_range(self):
+        ds = make_ucihar(train_size=200, test_size=50)
+        assert ds.train_y.min() >= 0
+        assert ds.train_y.max() < 12
+
+    def test_all_classes_represented(self):
+        ds = make_mnist(train_size=300, test_size=100, seed=0)
+        assert len(np.unique(ds.train_y)) == 10
+
+
+class TestSeparability:
+    def test_mnist_digits_distinguishable(self):
+        """Same-class images must be closer than cross-class on average
+        — the property KNN relies on."""
+        ds = make_mnist(train_size=200, test_size=1, seed=7)
+        x, y = ds.train_x, ds.train_y
+        same, cross = [], []
+        for i in range(0, 100):
+            for j in range(i + 1, 100):
+                d = np.linalg.norm(x[i] - x[j])
+                (same if y[i] == y[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestQuantize:
+    def test_levels_in_range(self):
+        x = np.linspace(0, 1, 100).reshape(10, 10)
+        q = quantize_features(x, 2)
+        assert q.min() == 0
+        assert q.max() == 3
+
+    def test_monotone(self):
+        x = np.array([[0.0, 0.3, 0.6, 1.0]])
+        q = quantize_features(x, 2)[0]
+        assert all(a <= b for a, b in zip(q, q[1:]))
+
+    def test_clipping(self):
+        x = np.array([[-0.5, 1.5]])
+        q = quantize_features(x, 3)[0]
+        assert q[0] == 0
+        assert q[1] == 7
+
+    def test_one_bit(self):
+        x = np.array([[0.2, 0.8]])
+        assert quantize_features(x, 1).tolist() == [[0, 1]]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_features(np.zeros((1, 1)), 0)
+
+
+class TestSubsample:
+    def test_sizes(self):
+        ds = make_isolet(train_size=100, test_size=40)
+        sub = ds.subsample(30, 10)
+        assert sub.train_size == 30
+        assert sub.test_size == 10
+
+    def test_caps_at_available(self):
+        ds = make_isolet(train_size=20, test_size=5)
+        sub = ds.subsample(100, 100)
+        assert sub.train_size == 20
+        assert sub.test_size == 5
+
+    def test_deterministic(self):
+        ds = make_isolet(train_size=100, test_size=40)
+        a = ds.subsample(30, 10, seed=1)
+        b = ds.subsample(30, 10, seed=1)
+        assert np.array_equal(a.train_x, b.train_x)
+
+
+class TestRegistry:
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            make_dataset("CIFAR")
+
+    def test_case_insensitive(self):
+        ds = make_dataset("isolet", train_size=10, test_size=5)
+        assert ds.name == "ISOLET"

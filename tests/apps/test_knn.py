@@ -1,0 +1,121 @@
+"""KNN classifier: both backends, banking, voting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import KNNClassifier
+
+
+@pytest.fixture
+def toy_data(rng):
+    """Two well-separated clusters in 2-bit feature space."""
+    lo = rng.integers(0, 2, size=(20, 8))   # values {0, 1}
+    hi = rng.integers(2, 4, size=(20, 8))   # values {2, 3}
+    x = np.vstack([lo, hi])
+    y = np.array([0] * 20 + [1] * 20)
+    return x, y
+
+
+class TestSoftwareBackend:
+    def test_separable_clusters_classified(self, toy_data, rng):
+        x, y = toy_data
+        knn = KNNClassifier(metric="manhattan", bits=2, k=3).fit(x, y)
+        queries = np.vstack(
+            [rng.integers(0, 2, size=(5, 8)), rng.integers(2, 4, size=(5, 8))]
+        )
+        labels = np.array([0] * 5 + [1] * 5)
+        assert knn.score(queries, labels) == 1.0
+
+    def test_k1_returns_exact_nearest(self, toy_data):
+        x, y = toy_data
+        knn = KNNClassifier(metric="manhattan", bits=2, k=1).fit(x, y)
+        pred = knn.predict_one(x[7])
+        assert pred.neighbor_indices[0] == 7
+        assert pred.neighbor_distances[0] == 0.0
+
+    def test_majority_voting(self):
+        x = np.array([[0, 0], [0, 1], [3, 3]])
+        y = np.array([0, 0, 1])
+        knn = KNNClassifier(metric="manhattan", bits=2, k=3).fit(x, y)
+        assert knn.predict_one([0, 0]).label == 0
+
+    def test_tie_breaks_toward_closest(self):
+        x = np.array([[0, 0], [3, 3]])
+        y = np.array([0, 1])
+        knn = KNNClassifier(metric="manhattan", bits=2, k=2).fit(x, y)
+        assert knn.predict_one([0, 1]).label == 0
+
+    def test_validation(self, toy_data):
+        x, y = toy_data
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(backend="quantum")
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(x, y[:-1])
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(np.empty((0, 4), dtype=int), np.empty(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict_one([0, 0])
+
+
+class TestFerexBackend:
+    def test_agrees_with_software_ideal_devices(self, toy_data, rng):
+        x, y = toy_data
+        software = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="software"
+        ).fit(x, y)
+        hardware = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="ferex"
+        ).fit(x, y)
+        queries = rng.integers(0, 4, size=(10, 8))
+        sw_d = [
+            software.predict_one(q).neighbor_distances[0]
+            for q in queries
+        ]
+        hw_d = [
+            hardware.predict_one(q).neighbor_distances[0]
+            for q in queries
+        ]
+        assert np.allclose(np.round(hw_d), sw_d, atol=0.05)
+
+    def test_banking_splits_rows(self, toy_data):
+        x, y = toy_data
+        knn = KNNClassifier(
+            metric="hamming", bits=2, backend="ferex", max_rows=16
+        ).fit(x, y)
+        assert knn.n_banks == 3  # 40 rows over banks of 16
+
+    def test_banked_matches_unbanked(self, toy_data, rng):
+        x, y = toy_data
+        banked = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="ferex", max_rows=8
+        ).fit(x, y)
+        whole = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="ferex", max_rows=64
+        ).fit(x, y)
+        for q in rng.integers(0, 4, size=(8, 8)):
+            d_banked = banked.predict_one(q).neighbor_distances[0]
+            d_whole = whole.predict_one(q).neighbor_distances[0]
+            assert d_banked == pytest.approx(d_whole, abs=0.05)
+
+    def test_classification_with_variation_close_to_software(
+        self, toy_data, rng
+    ):
+        """Paper Fig. 7: hardware accuracy within a point of software."""
+        x, y = toy_data
+        software = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="software"
+        ).fit(x, y)
+        hardware = KNNClassifier(
+            metric="hamming", bits=2, k=1, backend="ferex", seed=3
+        ).fit(x, y)
+        queries = np.vstack(
+            [rng.integers(0, 2, size=(10, 8)), rng.integers(2, 4, size=(10, 8))]
+        )
+        labels = np.array([0] * 10 + [1] * 10)
+        sw = software.score(queries, labels)
+        hw = hardware.score(queries, labels)
+        assert abs(sw - hw) <= 0.1

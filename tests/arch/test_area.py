@@ -1,0 +1,58 @@
+"""Area model: composition and scaling."""
+
+import pytest
+
+from repro.arch.area import AreaModel
+
+
+class TestComposition:
+    def test_total_sums_components(self):
+        b = AreaModel(64, 192).breakdown()
+        assert b.total == pytest.approx(
+            b.core + b.row_interface + b.lta + b.drivers + b.decoder
+        )
+
+    def test_core_fraction_bounded(self):
+        b = AreaModel(64, 192).breakdown()
+        assert 0.0 < b.core_fraction < 1.0
+
+    def test_all_positive(self):
+        b = AreaModel(8, 24).breakdown()
+        for value in (b.core, b.row_interface, b.lta, b.drivers, b.decoder):
+            assert value > 0
+
+
+class TestScaling:
+    def test_core_scales_with_cells(self):
+        a = AreaModel(32, 96).breakdown().core
+        b = AreaModel(64, 192).breakdown().core
+        assert b == pytest.approx(4 * a)
+
+    def test_core_fraction_grows_with_array(self):
+        """Periphery amortises: bigger arrays are more area-efficient."""
+        small = AreaModel(16, 48).breakdown().core_fraction
+        large = AreaModel(512, 1536).breakdown().core_fraction
+        assert large > small
+
+    def test_smaller_cells_save_area(self):
+        """The cell-size ablation's payoff: K=3 vs K=6 per element."""
+        k3 = AreaModel(128, 64 * 3).breakdown().total
+        k6 = AreaModel(128, 64 * 6).breakdown().total
+        assert k3 < k6
+
+    def test_drain_rails_cost_column_periphery(self):
+        import dataclasses
+
+        from repro.devices.tech import TechConfig
+
+        base = TechConfig()
+        deep = dataclasses.replace(
+            base, cell=dataclasses.replace(base.cell, max_vds_multiple=9)
+        )
+        shallow = AreaModel(64, 192, base).breakdown().drivers
+        deeper = AreaModel(64, 192, deep).breakdown().drivers
+        assert deeper > shallow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaModel(0, 10)

@@ -1,0 +1,82 @@
+"""Vectorised batch search: equivalence with the sequential path."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import FeReX
+
+
+@pytest.fixture
+def engine(rng):
+    eng = FeReX(metric="hamming", bits=2, dims=8)
+    eng.program(rng.integers(0, 4, size=(12, 8)))
+    return eng
+
+
+class TestBatchEquivalence:
+    def test_winners_match_sequential(self, engine, rng):
+        queries = rng.integers(0, 4, size=(20, 8))
+        batch = engine.search_batch(queries)
+        sequential = [engine.search(q).winner for q in queries]
+        assert batch.winners.tolist() == sequential
+
+    def test_row_units_match_sequential(self, engine, rng):
+        queries = rng.integers(0, 4, size=(10, 8))
+        batch = engine.search_batch(queries)
+        for i, q in enumerate(queries):
+            assert np.allclose(
+                batch.row_units[i],
+                engine.search(q).hardware_distances,
+                rtol=1e-9,
+            )
+
+    def test_with_variation(self, rng):
+        eng = FeReX(metric="hamming", bits=2, dims=8, seed=3)
+        eng.program(rng.integers(0, 4, size=(12, 8)))
+        queries = rng.integers(0, 4, size=(15, 8))
+        batch = eng.search_batch(queries)
+        sequential = [eng.search(q).winner for q in queries]
+        assert batch.winners.tolist() == sequential
+
+    def test_chunking_irrelevant(self, engine, rng):
+        queries = rng.integers(0, 4, size=(9, 8))
+        sl = engine._search_volt_lut[queries].reshape(9, -1)
+        dl = engine._search_mult_lut[queries].reshape(9, -1)
+        a = engine.array.search_batch(sl, dl, chunk=2)
+        b = engine.array.search_batch(sl, dl, chunk=100)
+        assert np.array_equal(a.winners, b.winners)
+        assert np.allclose(a.row_units, b.row_units)
+
+
+class TestBatchAccounting:
+    def test_totals_scale_with_queries(self, engine, rng):
+        queries = rng.integers(0, 4, size=(6, 8))
+        batch = engine.search_batch(queries)
+        assert batch.n_queries == 6
+        assert batch.total_time == pytest.approx(
+            6 * batch.timing_per_query.total
+        )
+        assert batch.total_energy == pytest.approx(
+            6 * batch.energy_per_query.total
+        )
+
+
+class TestBatchValidation:
+    def test_shape_checked(self, engine):
+        with pytest.raises(ValueError):
+            engine.search_batch(np.zeros((3, 5), dtype=int))
+
+    def test_range_checked(self, engine):
+        with pytest.raises(ValueError):
+            engine.search_batch(np.full((2, 8), 4))
+
+    def test_requires_program(self):
+        eng = FeReX(metric="hamming", bits=2, dims=4)
+        with pytest.raises(RuntimeError):
+            eng.search_batch(np.zeros((1, 4), dtype=int))
+
+    def test_mismatched_sl_dl_rejected(self, engine):
+        sl = np.zeros((2, engine.physical_cols))
+        dl = np.ones((3, engine.physical_cols), dtype=int)
+        with pytest.raises(ValueError):
+            engine.array.search_batch(sl, dl)

@@ -1,0 +1,207 @@
+"""Crossbar array simulator: programming, search, disturb, masking."""
+
+import numpy as np
+import pytest
+
+from repro.arch.crossbar import FeReXArray
+from repro.devices.tech import FeFETParams
+from repro.devices.variation import VariationSampler
+
+
+PARAMS = FeFETParams()
+
+
+def table2_array():
+    """A 4x3 array programmed with the paper's Table II store encoding."""
+    arr = FeReXArray(rows=4, physical_cols=3)
+    store = {0: [2, 2, 0], 1: [2, 0, 2], 2: [0, 2, 2], 3: [1, 1, 1]}
+    arr.program_matrix(np.array([store[v] for v in range(4)]))
+    return arr
+
+
+TABLE2_SEARCH = {
+    0: ([2, 2, 0], [1, 1, 1]),
+    1: ([1, 0, 2], [2, 1, 1]),
+    2: ([0, 1, 2], [1, 2, 1]),
+    3: ([1, 1, 1], [1, 1, 2]),
+}
+TABLE2_DM = [[0, 1, 1, 2], [1, 0, 2, 1], [1, 2, 0, 1], [2, 1, 1, 0]]
+
+
+class TestProgramming:
+    def test_program_row_sets_thresholds(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_row(0, [0, 1, 2])
+        expected = [PARAMS.vth_level(l) for l in (0, 1, 2)]
+        assert np.allclose(arr.vth[0], expected)
+
+    def test_erased_rows_at_highest_vth(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_row(0, [0, 0, 0])
+        erased = PARAMS.vth_low + PARAMS.memory_window
+        assert np.allclose(arr.vth[1], erased)
+
+    def test_levels_recorded(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_row(1, [2, 1, 0])
+        assert arr.levels[1].tolist() == [2, 1, 0]
+        assert arr.levels[0].tolist() == [-1, -1, -1]
+
+    def test_invalid_level_rejected(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        with pytest.raises(ValueError):
+            arr.program_row(0, [0, 1, 3])
+
+    def test_wrong_shape_rejected(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        with pytest.raises(ValueError):
+            arr.program_row(0, [0, 1])
+        with pytest.raises(ValueError):
+            arr.program_matrix(np.zeros((2, 2), dtype=int))
+
+    def test_invalid_row_rejected(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        with pytest.raises(ValueError):
+            arr.program_row(2, [0, 1, 2])
+
+    def test_write_energy_accumulates(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_row(0, [0, 1, 2])
+        e1 = arr.write_energy_total
+        arr.program_row(1, [0, 1, 2])
+        assert arr.write_energy_total > e1 > 0
+
+    def test_erase_row_restores_erased_state(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_row(0, [0, 1, 2])
+        arr.erase_row(0)
+        erased = PARAMS.vth_low + PARAMS.memory_window
+        assert np.allclose(arr.vth[0], erased)
+        assert arr.levels[0].tolist() == [-1, -1, -1]
+
+    def test_no_disturb_with_inhibition(self):
+        """The V/2 scheme must never stress unselected rows."""
+        arr = FeReXArray(rows=8, physical_cols=4)
+        for row in range(8):
+            arr.program_row(row, [0, 1, 2, 1])
+        assert arr.disturb_violations == 0
+
+
+class TestTable2Search:
+    """End-to-end: the paper's Table II encoding through the analog
+    array reproduces the Fig. 4(a) distance matrix."""
+
+    @pytest.mark.parametrize("query", [0, 1, 2, 3])
+    def test_row_currents_match_dm(self, query):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[query]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        result = arr.search(voltages, multiples)
+        assert np.allclose(
+            result.row_units, TABLE2_DM[query], atol=0.05
+        )
+
+    @pytest.mark.parametrize("query", [0, 1, 2, 3])
+    def test_winner_is_matching_row(self, query):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[query]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        assert arr.search(voltages, multiples).winner == query
+
+
+class TestSearchMechanics:
+    def test_zero_vds_column_conducts_nothing(self):
+        arr = FeReXArray(rows=2, physical_cols=2)
+        arr.program_matrix(np.zeros((2, 2), dtype=int))
+        hot = PARAMS.search_voltage(2)
+        currents = arr.cell_currents([hot, hot], [1, 0])
+        assert np.all(currents[:, 1] == 0.0)
+
+    def test_leakage_small_but_nonzero(self):
+        arr = FeReXArray(rows=1, physical_cols=4)
+        arr.program_row(0, [2, 2, 2, 2])
+        low = PARAMS.search_voltage(1)
+        currents = arr.cell_currents([low] * 4, [1, 1, 1, 1])
+        unit = arr.tech.cell.unit_current
+        assert np.all(currents > 0)
+        assert np.all(currents < 0.01 * unit)
+
+    def test_dl_range_enforced(self):
+        arr = FeReXArray(rows=1, physical_cols=2)
+        with pytest.raises(ValueError):
+            arr.cell_currents([0.5, 0.5], [1, 99])
+
+    def test_bias_shape_enforced(self):
+        arr = FeReXArray(rows=1, physical_cols=2)
+        with pytest.raises(ValueError):
+            arr.search([0.5], [1, 1])
+        with pytest.raises(ValueError):
+            arr.search([0.5, 0.5], [1])
+
+    def test_ranked_rows_sorted_by_current(self):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[0]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        result = arr.search(voltages, multiples)
+        ranked = result.ranked_rows()
+        currents = result.row_currents[ranked]
+        assert np.all(np.diff(currents) >= 0)
+
+
+class TestMaskedSearch:
+    def test_masked_row_cannot_win(self):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[2]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        active = np.array([True, True, False, True])
+        result = arr.search(voltages, multiples, active_rows=active)
+        assert result.winner != 2
+
+    def test_search_k_returns_distinct_rows(self):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[1]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        results = arr.search_k(voltages, multiples, 3)
+        winners = [r.winner for r in results]
+        assert len(set(winners)) == 3
+        assert winners[0] == 1
+
+    def test_search_k_bounds(self):
+        arr = table2_array()
+        levels, multiples = TABLE2_SEARCH[1]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        with pytest.raises(ValueError):
+            arr.search_k(voltages, multiples, 0)
+        with pytest.raises(ValueError):
+            arr.search_k(voltages, multiples, 5)
+
+
+class TestVariationInjection:
+    def test_variation_changes_readings(self):
+        ideal = table2_array()
+        varied = FeReXArray(
+            rows=4,
+            physical_cols=3,
+            variation=VariationSampler(seed=11).sample_array(4, 3),
+        )
+        store = {0: [2, 2, 0], 1: [2, 0, 2], 2: [0, 2, 2], 3: [1, 1, 1]}
+        varied.program_matrix(np.array([store[v] for v in range(4)]))
+        levels, multiples = TABLE2_SEARCH[0]
+        voltages = [PARAMS.search_voltage(l) for l in levels]
+        i_ideal = ideal.search(voltages, multiples).row_currents
+        i_varied = varied.search(voltages, multiples).row_currents
+        assert not np.allclose(i_ideal, i_varied, rtol=1e-3, atol=0)
+
+    def test_variation_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeReXArray(
+                rows=4,
+                physical_cols=3,
+                variation=VariationSampler(seed=1).sample_array(3, 3),
+            )
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            FeReXArray(rows=0, physical_cols=3)
+        with pytest.raises(ValueError):
+            FeReXArray(rows=3, physical_cols=0)

@@ -1,0 +1,104 @@
+"""Energy model: breakdown accounting and Fig. 6(a) amortisation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy import EnergyBreakdown, EnergyModel
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = EnergyBreakdown()
+        b.add("a", 1e-12)
+        b.add("b", 2e-12)
+        assert b.total == pytest.approx(3e-12)
+
+    def test_add_accumulates(self):
+        b = EnergyBreakdown()
+        b.add("a", 1e-12)
+        b.add("a", 1e-12)
+        assert b.components["a"] == pytest.approx(2e-12)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().add("x", -1.0)
+
+    def test_scaled(self):
+        b = EnergyBreakdown({"a": 2.0, "b": 4.0})
+        s = b.scaled(0.5)
+        assert s.components == {"a": 1.0, "b": 2.0}
+
+
+def _search_energy(rows, cols, mean_units=8):
+    model = EnergyModel(rows, cols)
+    unit = model.tech.cell.unit_current
+    currents = np.full(rows, mean_units * unit)
+    multiples = np.ones(cols, dtype=int)
+    return model, model.search_energy(currents, multiples)
+
+
+class TestSearchEnergy:
+    def test_all_components_positive(self):
+        _, breakdown = _search_energy(32, 96)
+        for name, value in breakdown.components.items():
+            assert value >= 0, name
+        assert breakdown.total > 0
+
+    def test_expected_components_present(self):
+        _, breakdown = _search_energy(32, 96)
+        for key in (
+            "array_conduction",
+            "line_charging",
+            "opamp",
+            "lta",
+            "sl_drivers",
+            "dl_selector",
+        ):
+            assert key in breakdown.components
+
+    def test_energy_per_bit_falls_with_rows(self):
+        """Fig. 6(a): amortising the LTA and peripherals over more rows
+        reduces energy per searched bit."""
+        per_bit = []
+        for rows in (8, 32, 128, 512):
+            model, breakdown = _search_energy(rows, 96)
+            per_bit.append(
+                model.energy_per_bit(breakdown, dims=32, bits_per_dim=2)
+            )
+        assert all(a > b for a, b in zip(per_bit, per_bit[1:]))
+
+    def test_energy_per_bit_requires_bits(self):
+        model, breakdown = _search_energy(8, 96)
+        with pytest.raises(ValueError):
+            model.energy_per_bit(breakdown, dims=0, bits_per_dim=2)
+
+    def test_total_grows_with_activity(self):
+        model = EnergyModel(32, 96)
+        unit = model.tech.cell.unit_current
+        quiet = model.search_energy(
+            np.full(32, 1 * unit), np.ones(96, dtype=int)
+        )
+        busy = model.search_energy(
+            np.full(32, 30 * unit), np.full(96, 2, dtype=int)
+        )
+        assert busy.total > quiet.total
+
+
+class TestWriteEnergy:
+    def test_write_energy_positive(self):
+        model = EnergyModel(32, 96)
+        assert model.write_energy(96).total > 0
+
+    def test_scales_with_cells(self):
+        model = EnergyModel(32, 96)
+        e1 = model.write_energy(10).components["write_drivers"]
+        e2 = model.write_energy(20).components["write_drivers"]
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_inhibition_grows_with_rows(self):
+        small = EnergyModel(8, 96).write_energy(96)
+        large = EnergyModel(256, 96).write_energy(96)
+        assert (
+            large.components["inhibition"]
+            > small.components["inhibition"]
+        )

@@ -1,0 +1,62 @@
+"""DESTINY-style parasitic extraction: scaling and orientation."""
+
+import pytest
+
+from repro.arch.parasitics import extract
+from repro.devices.tech import CellParams, WireParams
+
+
+class TestScaling:
+    def test_horizontal_lines_scale_with_columns(self):
+        a = extract(rows=16, cols=64)
+        b = extract(rows=16, cols=128)
+        assert b.scl.capacitance > a.scl.capacitance
+        assert b.scl.resistance == pytest.approx(2 * a.scl.resistance)
+
+    def test_vertical_lines_scale_with_rows(self):
+        a = extract(rows=16, cols=64)
+        b = extract(rows=32, cols=64)
+        assert b.dl.capacitance > a.dl.capacitance
+        assert b.sl.resistance == pytest.approx(2 * a.sl.resistance)
+
+    def test_scl_independent_of_rows(self):
+        a = extract(rows=16, cols=64)
+        b = extract(rows=256, cols=64)
+        assert a.scl.capacitance == pytest.approx(b.scl.capacitance)
+
+    def test_area_scales_with_both(self):
+        a = extract(rows=16, cols=64)
+        b = extract(rows=32, cols=128)
+        assert b.area == pytest.approx(4 * a.area)
+
+
+class TestComposition:
+    def test_capacitance_has_wire_and_cell_parts(self):
+        wire = WireParams(cap_per_meter=0.0, cap_per_cell=1e-15)
+        p = extract(rows=10, cols=20, wire=wire)
+        assert p.scl.capacitance == pytest.approx(20e-15)
+        assert p.dl.capacitance == pytest.approx(10e-15)
+
+    def test_wire_only_part(self):
+        wire = WireParams(cap_per_meter=1e-9, cap_per_cell=0.0)
+        cell = CellParams(cell_pitch_f=10.0)
+        p = extract(rows=4, cols=8, wire=wire, cell=cell,
+                    feature_size=45e-9)
+        expected = 8 * 10 * 45e-9 * 1e-9
+        assert p.scl.capacitance == pytest.approx(expected)
+
+    def test_elmore_delay(self):
+        p = extract(rows=64, cols=64)
+        assert p.scl.elmore_delay == pytest.approx(
+            0.5 * p.scl.resistance * p.scl.capacitance
+        )
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            extract(rows=0, cols=4)
+
+    def test_zero_cols_rejected(self):
+        with pytest.raises(ValueError):
+            extract(rows=4, cols=0)

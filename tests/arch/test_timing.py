@@ -1,0 +1,51 @@
+"""Search-timing model: Fig. 6(b) scaling shapes."""
+
+import pytest
+
+from repro.arch.timing import TimingModel
+
+
+class TestComposition:
+    def test_total_is_sum(self):
+        t = TimingModel(64, 128).search_timing()
+        assert t.total == pytest.approx(t.drive + t.scl_settling + t.lta)
+
+    def test_scl_fraction_between_zero_and_one(self):
+        t = TimingModel(64, 128).search_timing()
+        assert 0.0 < t.scl_fraction < 1.0
+
+
+class TestScaling:
+    def test_delay_grows_with_dimensions(self):
+        """Fig. 6(b): wider rows load the ScL op-amp harder."""
+        narrow = TimingModel(64, 128).search_timing().total
+        wide = TimingModel(64, 2048).search_timing().total
+        assert wide > narrow
+
+    def test_delay_grows_with_rows(self):
+        """Fig. 6(b): more rows slow the LTA (gradually)."""
+        short = TimingModel(16, 256).search_timing().total
+        tall = TimingModel(1024, 256).search_timing().total
+        assert tall > short
+
+    def test_growth_with_rows_is_gradual(self):
+        """'the total delay increases gradually as the FeReX array
+        scales' — 64x more rows must cost far less than 64x delay."""
+        short = TimingModel(16, 256).search_timing().total
+        tall = TimingModel(1024, 256).search_timing().total
+        assert tall / short < 8.0
+
+    def test_scl_dominates_at_paper_design_point(self):
+        """Sec. IV-A: 'About 60% of the total delay comes from ScL
+        voltage stabilization'.  At the DATE-scale design point (64 rows,
+        64 dims x 3 FeFETs) the model lands near that split; accept a
+        generous band around 60 %."""
+        t = TimingModel(64, 64 * 3).search_timing()
+        assert 0.45 < t.scl_fraction < 0.8
+
+    def test_small_margin_slows_search(self):
+        model = TimingModel(64, 256)
+        unit = model.tech.cell.unit_current
+        wide = model.search_timing(winner_margin=unit).total
+        narrow = model.search_timing(winner_margin=unit / 50).total
+        assert narrow > wide

@@ -1,0 +1,91 @@
+"""Peripheral drivers: activity-based energy accounting."""
+
+import pytest
+
+from repro.circuits.drivers import (
+    DrainVoltageSelector,
+    RowDecoder,
+    SearchLineDriver,
+    WriteLevelShifter,
+)
+from repro.devices.tech import DriverParams
+
+
+PARAMS = DriverParams()
+
+
+class TestSearchLineDriver:
+    def test_counts_active_lines(self):
+        drv = SearchLineDriver(4, PARAMS)
+        event = drv.apply([0.5, 0.0, 1.1, 0.5])
+        assert event.energy == pytest.approx(
+            3 * PARAMS.sl_driver_energy
+        )
+
+    def test_all_zero_costs_nothing(self):
+        drv = SearchLineDriver(3, PARAMS)
+        assert drv.apply([0.0, 0.0, 0.0]).energy == 0.0
+
+    def test_wrong_width_rejected(self):
+        drv = SearchLineDriver(3, PARAMS)
+        with pytest.raises(ValueError):
+            drv.apply([1.0, 2.0])
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ValueError):
+            SearchLineDriver(0)
+
+
+class TestDrainVoltageSelector:
+    def test_energy_weighted_by_level(self):
+        sel = DrainVoltageSelector(3, max_multiple=2, params=PARAMS)
+        event = sel.apply([1, 2, 0])
+        assert event.energy == pytest.approx(
+            3 * PARAMS.dac_energy_per_line
+        )
+
+    def test_out_of_range_level_rejected(self):
+        sel = DrainVoltageSelector(2, max_multiple=2, params=PARAMS)
+        with pytest.raises(ValueError):
+            sel.apply([1, 3])
+        with pytest.raises(ValueError):
+            sel.apply([-1, 1])
+
+    def test_wrong_width_rejected(self):
+        sel = DrainVoltageSelector(2, max_multiple=2)
+        with pytest.raises(ValueError):
+            sel.apply([1])
+
+
+class TestRowDecoder:
+    def test_address_bits(self):
+        assert RowDecoder(1).address_bits == 1
+        assert RowDecoder(2).address_bits == 1
+        assert RowDecoder(256).address_bits == 8
+        assert RowDecoder(257).address_bits == 9
+
+    def test_energy_scales_with_bits(self):
+        small = RowDecoder(4, PARAMS).select(0).energy
+        large = RowDecoder(1024, PARAMS).select(0).energy
+        assert large == pytest.approx(5 * small)
+
+    def test_out_of_range_row_rejected(self):
+        dec = RowDecoder(8)
+        with pytest.raises(ValueError):
+            dec.select(8)
+
+
+class TestWriteLevelShifter:
+    def test_energy_per_cell(self):
+        shifter = WriteLevelShifter(PARAMS)
+        assert shifter.pulse(10).energy == pytest.approx(
+            10 * PARAMS.write_driver_energy
+        )
+
+    def test_pulse_width_is_delay(self):
+        shifter = WriteLevelShifter(PARAMS)
+        assert shifter.pulse(1).delay == PARAMS.write_pulse_width
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            WriteLevelShifter().pulse(-1)

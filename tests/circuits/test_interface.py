@@ -1,0 +1,62 @@
+"""Row interface: write/search mode multiplexing and V/2 inhibition."""
+
+import pytest
+
+from repro.circuits.interface import RowInterface, RowMode
+from repro.devices.tech import DriverParams
+
+
+class TestModes:
+    def test_starts_idle(self):
+        assert RowInterface().mode is RowMode.IDLE
+
+    def test_mode_switch_costs_energy(self):
+        iface = RowInterface()
+        energy = iface.set_mode(RowMode.SEARCH)
+        assert energy == RowInterface.MUX_SWITCH_ENERGY
+        assert iface.mode is RowMode.SEARCH
+
+    def test_same_mode_switch_free(self):
+        iface = RowInterface()
+        iface.set_mode(RowMode.SEARCH)
+        assert iface.set_mode(RowMode.SEARCH) == 0.0
+        assert iface.mode_switches == 1
+
+
+class TestBias:
+    def test_selected_row_grounded(self):
+        iface = RowInterface()
+        iface.set_mode(RowMode.WRITE_SELECTED)
+        bias = iface.bias()
+        assert bias.scl_voltage == 0.0
+        assert bias.rl_voltage == 0.0
+
+    def test_inhibited_row_at_half_write_voltage(self):
+        """Paper Sec. III-A: 'the RL voltage of the unselected rows is
+        raised to half of Vwrite/Verase'."""
+        params = DriverParams(write_voltage=4.0)
+        iface = RowInterface(driver_params=params)
+        iface.set_mode(RowMode.WRITE_INHIBITED)
+        bias = iface.bias()
+        assert bias.scl_voltage == pytest.approx(2.0)
+        assert bias.rl_voltage == pytest.approx(2.0)
+
+    def test_search_mode_clamps_to_reference(self):
+        iface = RowInterface()
+        iface.set_mode(RowMode.SEARCH)
+        bias = iface.bias(search_reference=0.15)
+        assert bias.scl_voltage == pytest.approx(0.15)
+
+
+class TestInhibition:
+    def test_selected_cell_sees_full_voltage(self):
+        iface = RowInterface()
+        iface.set_mode(RowMode.WRITE_SELECTED)
+        assert iface.gate_overdrive_during_write(4.0, selected=True) == 4.0
+
+    def test_inhibited_cell_sees_half_voltage(self):
+        params = DriverParams(write_voltage=4.0)
+        iface = RowInterface(driver_params=params)
+        iface.set_mode(RowMode.WRITE_INHIBITED)
+        stress = iface.gate_overdrive_during_write(4.0, selected=False)
+        assert stress == pytest.approx(2.0)

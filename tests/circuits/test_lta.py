@@ -1,0 +1,115 @@
+"""Loser-take-all comparator: decisions, offsets, top-k, delay/energy."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lta import LoserTakeAll
+from repro.devices.tech import LTAParams
+
+
+class TestDecision:
+    def test_picks_minimum(self):
+        lta = LoserTakeAll(4)
+        decision = lta.decide([3e-7, 1e-7, 2e-7, 4e-7])
+        assert decision.winner == 1
+
+    def test_single_row(self):
+        lta = LoserTakeAll(1)
+        decision = lta.decide([5e-7])
+        assert decision.winner == 0
+        assert decision.margin == float("inf")
+
+    def test_margin_is_gap_to_runner_up(self):
+        lta = LoserTakeAll(3)
+        decision = lta.decide([1e-7, 4e-7, 9e-7])
+        assert decision.margin == pytest.approx(3e-7)
+
+    def test_offsets_can_flip_close_decisions(self):
+        offsets = np.array([0.0, -2e-8])
+        lta = LoserTakeAll(2, offsets=offsets)
+        # Row 0 is nominally smaller by 1e-8, but row 1's offset wins.
+        decision = lta.decide([1.0e-7, 1.1e-7])
+        assert decision.winner == 1
+
+    def test_offsets_do_not_flip_wide_decisions(self):
+        offsets = np.array([0.0, -2e-8])
+        lta = LoserTakeAll(2, offsets=offsets)
+        decision = lta.decide([1.0e-7, 3.0e-7])
+        assert decision.winner == 0
+
+    def test_wrong_input_length_rejected(self):
+        lta = LoserTakeAll(3)
+        with pytest.raises(ValueError):
+            lta.decide([1e-7, 2e-7])
+
+    def test_wrong_offsets_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LoserTakeAll(3, offsets=np.zeros(2))
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            LoserTakeAll(0)
+
+    def test_int_conversion(self):
+        lta = LoserTakeAll(2)
+        assert int(lta.decide([2e-7, 1e-7])) == 1
+
+
+class TestTopK:
+    def test_orders_by_current(self):
+        lta = LoserTakeAll(4)
+        currents = [3e-7, 1e-7, 2e-7, 4e-7]
+        winners = [d.winner for d in lta.decide_k(currents, 3)]
+        assert winners == [1, 2, 0]
+
+    def test_k_equals_rows(self):
+        lta = LoserTakeAll(3)
+        winners = [d.winner for d in lta.decide_k([3e-7, 1e-7, 2e-7], 3)]
+        assert sorted(winners) == [0, 1, 2]
+
+    def test_invalid_k_rejected(self):
+        lta = LoserTakeAll(3)
+        with pytest.raises(ValueError):
+            lta.decide_k([1e-7, 2e-7, 3e-7], 0)
+        with pytest.raises(ValueError):
+            lta.decide_k([1e-7, 2e-7, 3e-7], 4)
+
+    def test_input_not_mutated(self):
+        lta = LoserTakeAll(3)
+        currents = np.array([3e-7, 1e-7, 2e-7])
+        lta.decide_k(currents, 2)
+        assert np.array_equal(currents, [3e-7, 1e-7, 2e-7])
+
+
+class TestDelayEnergy:
+    def test_smaller_margin_slower_decision(self):
+        lta = LoserTakeAll(8)
+        fast = lta.decision_delay(1e-6)
+        slow = lta.decision_delay(1e-8)
+        assert slow > fast
+
+    def test_delay_floor_at_resolution(self):
+        lta = LoserTakeAll(8)
+        at_res = lta.decision_delay(lta.resolution_current)
+        below = lta.decision_delay(lta.resolution_current / 100)
+        assert below == pytest.approx(at_res)
+
+    def test_fanin_term_grows_with_rows(self):
+        margin = 1e-7
+        small = LoserTakeAll(4).decision_delay(margin)
+        large = LoserTakeAll(1024).decision_delay(margin)
+        assert large > small
+
+    def test_energy_scales_with_rows(self):
+        params = LTAParams()
+        delay = 1e-9
+        e_small = LoserTakeAll(8, params).decision_energy(delay)
+        e_large = LoserTakeAll(512, params).decision_energy(delay)
+        assert e_large > e_small
+
+    def test_energy_has_fixed_component(self):
+        params = LTAParams()
+        lta = LoserTakeAll(2, params)
+        assert lta.decision_energy(0.0) == pytest.approx(
+            params.fixed_energy
+        )

@@ -1,0 +1,76 @@
+"""Clamp op-amp settling model."""
+
+import pytest
+
+from repro.circuits.opamp import ClampOpAmp
+from repro.devices.tech import OpAmpParams
+
+
+class TestSettling:
+    def test_settling_time_grows_with_load(self):
+        amp = ClampOpAmp()
+        t1 = amp.settling(10e-15, 0.2).total_time
+        t2 = amp.settling(100e-15, 0.2).total_time
+        assert t2 > t1
+
+    def test_settling_time_grows_with_step(self):
+        amp = ClampOpAmp()
+        t1 = amp.settling(50e-15, 0.1).total_time
+        t2 = amp.settling(50e-15, 0.4).total_time
+        assert t2 > t1
+
+    def test_total_is_sum_of_phases(self):
+        report = ClampOpAmp().settling(80e-15, 0.3)
+        assert report.total_time == pytest.approx(
+            report.slew_time + report.linear_time
+        )
+
+    def test_slew_phase_matches_slew_rate_at_design_load(self):
+        amp = ClampOpAmp()
+        report = amp.settling(ClampOpAmp.DESIGN_LOAD, 0.2)
+        assert report.slew_time == pytest.approx(
+            0.2 / amp.params.slew_rate
+        )
+
+    def test_linear_phase_scales_with_accuracy(self):
+        tight = ClampOpAmp(OpAmpParams(settling_accuracy=0.001))
+        loose = ClampOpAmp(OpAmpParams(settling_accuracy=0.1))
+        load = 50e-15
+        assert (
+            tight.settling(load, 0.2).linear_time
+            > loose.settling(load, 0.2).linear_time
+        )
+
+    def test_negative_step_same_as_positive(self):
+        amp = ClampOpAmp()
+        up = amp.settling(50e-15, 0.2).total_time
+        down = amp.settling(50e-15, -0.2).total_time
+        assert up == pytest.approx(down)
+
+    def test_energy_positive_and_grows_with_load(self):
+        amp = ClampOpAmp()
+        e1 = amp.settling(10e-15, 0.2).energy
+        e2 = amp.settling(200e-15, 0.2).energy
+        assert 0 < e1 < e2
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            ClampOpAmp().settling(-1e-15, 0.2)
+
+
+class TestHoldEnergy:
+    def test_proportional_to_duration(self):
+        amp = ClampOpAmp()
+        assert amp.hold_energy(2e-6) == pytest.approx(
+            2 * amp.hold_energy(1e-6)
+        )
+
+    def test_matches_static_power(self):
+        amp = ClampOpAmp()
+        assert amp.hold_energy(1.0) == pytest.approx(
+            amp.params.static_power
+        )
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ClampOpAmp().hold_energy(-1.0)

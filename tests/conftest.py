@@ -1,0 +1,31 @@
+"""Shared fixtures for the FeReX test suite."""
+
+import numpy as np
+import pytest
+
+from repro.devices.tech import FeFETParams, TechConfig
+from repro.core.dm import DistanceMatrix
+
+
+@pytest.fixture
+def fefet_params():
+    """Default three-level FeFET parameters."""
+    return FeFETParams()
+
+
+@pytest.fixture
+def tech():
+    """Default technology configuration."""
+    return TechConfig()
+
+
+@pytest.fixture
+def hamming2_dm():
+    """The paper's Fig. 4(a) distance matrix (2-bit Hamming)."""
+    return DistanceMatrix.from_metric("hamming", bits=2)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,110 @@
+"""Constructive (closed-form) encodings for arbitrary bit widths."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constructive import (
+    constructive_cell,
+    euclidean_cell,
+    hamming_cell,
+    has_constructive,
+    manhattan_cell,
+)
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import encode_cell, verify_encoding
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("metric", ["hamming", "manhattan", "euclidean"])
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_reproduces_dm(self, metric, bits):
+        sol = constructive_cell(metric, bits)
+        dm = DistanceMatrix.from_metric(metric, bits)
+        assert np.array_equal(sol.current_matrix(), dm.values)
+
+    @pytest.mark.parametrize("metric", ["hamming", "manhattan", "euclidean"])
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_chain_constraint_by_construction(self, metric, bits):
+        sol = constructive_cell(metric, bits)
+        for i in range(sol.k):
+            masks = sol.fefet_on_masks(i)
+            for a, b in itertools.combinations(masks, 2):
+                assert (a & b) in (a, b)
+
+    @pytest.mark.parametrize("metric", ["hamming", "manhattan", "euclidean"])
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_encodes_and_round_trips(self, metric, bits):
+        sol = constructive_cell(metric, bits)
+        enc = encode_cell(sol, metric, bits)
+        dm = DistanceMatrix.from_metric(metric, bits)
+        assert verify_encoding(enc, dm)
+
+
+class TestCellSizes:
+    def test_hamming_two_per_bit(self):
+        for bits in (1, 2, 3, 4):
+            assert hamming_cell(bits).k == 2 * bits
+
+    def test_manhattan_thermometer_size(self):
+        for bits in (1, 2, 3):
+            assert manhattan_cell(bits).k == 2 * ((1 << bits) - 1)
+
+    def test_euclidean_thermometer_size(self):
+        for bits in (1, 2, 3):
+            assert euclidean_cell(bits).k == 2 * ((1 << bits) - 1)
+
+    def test_hamming_unit_currents_only(self):
+        sol = hamming_cell(3)
+        assert sol.current_range == (1,)
+
+    def test_euclidean_needs_odd_weights(self):
+        sol = euclidean_cell(2)
+        assert max(sol.current_range) == 5  # 2L-1 with L=3
+
+
+class TestRegistry:
+    def test_known_metrics(self):
+        for metric in ("hamming", "manhattan", "euclidean"):
+            assert has_constructive(metric)
+
+    def test_unknown_metric(self):
+        assert not has_constructive("cosine")
+        with pytest.raises(KeyError):
+            constructive_cell("cosine", 2)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            hamming_cell(0)
+        with pytest.raises(ValueError):
+            manhattan_cell(-1)
+
+
+class TestPropertyBased:
+    @given(
+        bits=st.integers(min_value=1, max_value=4),
+        sch=st.integers(min_value=0, max_value=15),
+        sto=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hamming_cell_current_is_popcount(self, bits, sch, sto):
+        n = 1 << bits
+        sch %= n
+        sto %= n
+        sol = hamming_cell(bits)
+        assert sol.cell_current(sch, sto) == bin(sch ^ sto).count("1")
+
+    @given(
+        bits=st.integers(min_value=1, max_value=3),
+        sch=st.integers(min_value=0, max_value=7),
+        sto=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_euclidean_cell_current_is_squared_diff(self, bits, sch, sto):
+        n = 1 << bits
+        sch %= n
+        sto %= n
+        sol = euclidean_cell(bits)
+        assert sol.cell_current(sch, sto) == (sch - sto) ** 2

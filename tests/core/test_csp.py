@@ -1,0 +1,146 @@
+"""Generic CSP kit: backtracking and AC-3 on classic problems."""
+
+import itertools
+
+import pytest
+
+from repro.core.csp import (
+    CSP,
+    Constraint,
+    ac3,
+    backtracking_search,
+    solve_all,
+)
+
+
+def n_queens_csp(n):
+    """Columns as variables, rows as values."""
+    variables = list(range(n))
+    domains = {c: list(range(n)) for c in variables}
+    constraints = []
+    for a, b in itertools.combinations(variables, 2):
+
+        def no_attack(ra, rb, a=a, b=b):
+            return ra != rb and abs(ra - rb) != abs(a - b)
+
+        constraints.append(Constraint((a, b), no_attack))
+    return CSP(variables, domains, constraints)
+
+
+def coloring_csp(edges, n_nodes, n_colors):
+    variables = list(range(n_nodes))
+    domains = {v: list(range(n_colors)) for v in variables}
+    constraints = [
+        Constraint((a, b), lambda x, y: x != y) for a, b in edges
+    ]
+    return CSP(variables, domains, constraints)
+
+
+class TestBacktracking:
+    def test_four_queens_solved(self):
+        solution = backtracking_search(n_queens_csp(4))
+        assert solution is not None
+        rows = [solution[c] for c in range(4)]
+        assert sorted(rows) == [0, 1, 2, 3]
+
+    def test_three_queens_infeasible(self):
+        assert backtracking_search(n_queens_csp(3)) is None
+
+    def test_eight_queens_all_solutions(self):
+        solutions = list(solve_all(n_queens_csp(8)))
+        assert len(solutions) == 92  # the classic count
+
+    def test_solution_limit(self):
+        solutions = list(solve_all(n_queens_csp(8), limit=5))
+        assert len(solutions) == 5
+
+    def test_triangle_two_coloring_infeasible(self):
+        csp = coloring_csp([(0, 1), (1, 2), (0, 2)], 3, 2)
+        assert backtracking_search(csp) is None
+
+    def test_triangle_three_coloring_count(self):
+        csp = coloring_csp([(0, 1), (1, 2), (0, 2)], 3, 3)
+        assert len(list(solve_all(csp))) == 6  # 3! proper colorings
+
+    def test_without_heuristics(self):
+        solution = backtracking_search(
+            n_queens_csp(6), use_mrv=False, forward_check=False
+        )
+        assert solution is not None
+
+    def test_solutions_satisfy_all_constraints(self):
+        csp = n_queens_csp(6)
+        for solution in solve_all(csp, limit=3):
+            for c in csp.constraints:
+                assert c.satisfied(solution)
+
+
+class TestAC3:
+    def test_prunes_unsupported_values(self):
+        # x < y with domains {1..3} x {1..3}: x=3 and y=1 must go.
+        csp = CSP(
+            variables=["x", "y"],
+            domains={"x": [1, 2, 3], "y": [1, 2, 3]},
+            constraints=[Constraint(("x", "y"), lambda x, y: x < y)],
+        )
+        assert ac3(csp)
+        assert csp.domains["x"] == [1, 2]
+        assert csp.domains["y"] == [2, 3]
+
+    def test_detects_wipeout(self):
+        csp = CSP(
+            variables=["x", "y"],
+            domains={"x": [1], "y": [1]},
+            constraints=[Constraint(("x", "y"), lambda x, y: x != y)],
+        )
+        assert not ac3(csp)
+
+    def test_preserves_all_solution_values(self):
+        """AC-3 must never remove a value that appears in a solution."""
+        csp = n_queens_csp(6)
+        before = list(solve_all(n_queens_csp(6)))
+        assert ac3(csp)
+        after = list(solve_all(csp))
+        assert {tuple(sorted(s.items())) for s in before} == {
+            tuple(sorted(s.items())) for s in after
+        }
+
+    def test_directional_constraint(self):
+        """Predicate argument order must follow the constraint scope even
+        when revising the second variable."""
+        csp = CSP(
+            variables=["a", "b"],
+            domains={"a": [0, 5], "b": [1, 2]},
+            constraints=[Constraint(("a", "b"), lambda a, b: a < b)],
+        )
+        assert ac3(csp)
+        assert csp.domains["a"] == [0]
+        assert csp.domains["b"] == [1, 2]
+
+
+class TestValidation:
+    def test_missing_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CSP(variables=["x"], domains={}, constraints=[])
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            CSP(
+                variables=["x"],
+                domains={"x": [1]},
+                constraints=[Constraint(("x", "y"), lambda a, b: True)],
+            )
+
+    def test_partial_assignment_consistent(self):
+        c = Constraint(("x", "y"), lambda x, y: x == y)
+        assert c.satisfied({"x": 1})  # y unassigned -> not violated
+
+    def test_add_constraint_after_construction(self):
+        csp = CSP(
+            variables=["x", "y"],
+            domains={"x": [1, 2], "y": [1, 2]},
+            constraints=[],
+        )
+        csp.add_constraint(Constraint(("x", "y"), lambda x, y: x != y))
+        assert len(csp.constraints_on("x")) == 1
+        assert len(list(solve_all(csp))) == 2

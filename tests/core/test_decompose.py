@@ -1,0 +1,134 @@
+"""DecomposeDM (constraint 1): enumeration correctness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import (
+    decomposable,
+    decompose,
+    min_fefets_for,
+)
+
+
+class TestEnumeration:
+    def test_paper_example(self):
+        """Fig. 4(c): DM element '2' decomposed over three FeFETs with
+        currents from {0, 1, 2}."""
+        tuples = decompose(2, 3, (1, 2))
+        assert (0, 1, 1) in tuples
+        assert (2, 0, 0) in tuples
+        assert len(tuples) == 6
+
+    def test_zero_has_single_decomposition(self):
+        assert decompose(0, 3, (1, 2)) == [(0, 0, 0)]
+
+    def test_all_sums_correct(self):
+        for value in range(7):
+            for tup in decompose(value, 4, (1, 2, 3)):
+                assert sum(tup) == value
+
+    def test_entries_from_allowed_set(self):
+        for tup in decompose(5, 4, (1, 3)):
+            for c in tup:
+                assert c in (0, 1, 3)
+
+    def test_no_duplicates(self):
+        tuples = decompose(4, 4, (1, 2))
+        assert len(tuples) == len(set(tuples))
+
+    def test_sorted_output(self):
+        tuples = decompose(3, 3, (1, 2))
+        assert tuples == sorted(tuples)
+
+    def test_unreachable_value_empty(self):
+        assert decompose(7, 3, (1, 2)) == []
+        assert decompose(3, 2, (2,)) == []
+
+    def test_gap_in_range(self):
+        """CR with holes: 3 cannot be made from {2} with two slots."""
+        assert decompose(3, 2, (2,)) == []
+        assert decompose(4, 2, (2,)) == [(2, 2)]
+
+    def test_ordered_tuples_counted_separately(self):
+        tuples = decompose(1, 2, (1,))
+        assert tuples == [(0, 1), (1, 0)]
+
+
+class TestValidation:
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(-1, 3, (1, 2))
+
+    def test_zero_fefets_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(1, 0, (1, 2))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(1, 2, ())
+
+    def test_nonpositive_current_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(1, 2, (0, 1))
+
+    def test_unsorted_range_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(1, 2, (2, 1))
+
+    def test_duplicate_range_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(1, 2, (1, 1, 2))
+
+
+class TestMinFefets:
+    def test_ceiling_division(self):
+        assert min_fefets_for(9, (1, 2, 3, 4)) == 3
+        assert min_fefets_for(8, (1, 2, 3, 4)) == 2
+        assert min_fefets_for(2, (1, 2)) == 1
+
+    def test_zero_value(self):
+        assert min_fefets_for(0, (1,)) == 1
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            min_fefets_for(3, ())
+
+
+class TestDecomposable:
+    def test_positive_case(self):
+        assert decomposable(4, 2, (1, 2))
+
+    def test_negative_case(self):
+        assert not decomposable(5, 2, (1, 2))
+
+
+class TestPropertyBased:
+    @given(
+        value=st.integers(min_value=0, max_value=8),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_brute_force(self, value, k):
+        """Enumeration must agree with brute-force iteration."""
+        import itertools
+
+        cr = (1, 2)
+        choices = (0,) + cr
+        brute = [
+            t
+            for t in itertools.product(choices, repeat=k)
+            if sum(t) == value
+        ]
+        assert sorted(brute) == decompose(value, k, cr)
+
+    @given(
+        value=st.integers(min_value=0, max_value=10),
+        k=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_min_fefets_is_tight(self, value, k):
+        """decompose is non-empty exactly when k >= min_fefets_for
+        (for a gap-free current range)."""
+        cr = (1, 2, 3)
+        feasible = bool(decompose(value, k, cr))
+        assert feasible == (k >= min_fefets_for(value, cr))

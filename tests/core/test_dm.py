@@ -1,0 +1,83 @@
+"""Distance Matrix construction (paper Fig. 4(a))."""
+
+import numpy as np
+import pytest
+
+from repro.core.dm import DistanceMatrix
+
+
+class TestFromMetric:
+    def test_fig4a_hamming_matrix(self, hamming2_dm):
+        """The exact 2-bit Hamming DM shown in the paper's Fig. 4(a)."""
+        expected = [
+            [0, 1, 1, 2],
+            [1, 0, 2, 1],
+            [1, 2, 0, 1],
+            [2, 1, 1, 0],
+        ]
+        assert hamming2_dm.values.tolist() == expected
+
+    def test_manhattan_2bit(self):
+        dm = DistanceMatrix.from_metric("manhattan", 2)
+        assert dm.values.tolist() == [
+            [0, 1, 2, 3],
+            [1, 0, 1, 2],
+            [2, 1, 0, 1],
+            [3, 2, 1, 0],
+        ]
+
+    def test_euclidean_2bit(self):
+        dm = DistanceMatrix.from_metric("euclidean", 2)
+        assert dm.values.tolist() == [
+            [0, 1, 4, 9],
+            [1, 0, 1, 4],
+            [4, 1, 0, 1],
+            [9, 4, 1, 0],
+        ]
+
+    def test_size_scales_with_bits(self):
+        for bits in (1, 2, 3):
+            dm = DistanceMatrix.from_metric("hamming", bits)
+            assert dm.n_search == dm.n_stored == (1 << bits)
+
+    def test_metadata(self, hamming2_dm):
+        assert hamming2_dm.bits == 2
+        assert hamming2_dm.metric_name == "hamming"
+
+
+class TestProperties:
+    def test_symmetric(self, hamming2_dm):
+        assert hamming2_dm.is_symmetric()
+
+    def test_zero_diagonal(self, hamming2_dm):
+        assert hamming2_dm.zero_diagonal()
+
+    def test_max_value(self, hamming2_dm):
+        assert hamming2_dm.max_value == 2
+
+    def test_entry_and_row(self, hamming2_dm):
+        assert hamming2_dm.entry(0, 3) == 2
+        assert hamming2_dm.row(1) == [1, 0, 2, 1]
+
+    def test_describe_mentions_metric(self, hamming2_dm):
+        assert "hamming" in hamming2_dm.describe()
+
+
+class TestFromTable:
+    def test_custom_table(self):
+        dm = DistanceMatrix.from_table([[0, 2], [1, 0], [3, 3]])
+        assert dm.n_search == 3
+        assert dm.n_stored == 2
+        assert not dm.is_symmetric()
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix.from_table([[0, -1], [1, 0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix.from_table(np.zeros((0, 0)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix.from_table([0, 1, 2])

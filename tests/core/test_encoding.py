@@ -1,0 +1,180 @@
+"""Fig. 5 post-processing: level assignment and Table II regeneration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import (
+    EncodingError,
+    best_encoding,
+    encode_cell,
+    encode_fefet,
+    off_count_search_levels,
+    verify_encoding,
+)
+from repro.core.feasibility import check_feasibility, iter_solutions
+from repro.devices.tech import FeFETParams
+
+
+@pytest.fixture
+def hamming_solution(hamming2_dm):
+    return check_feasibility(hamming2_dm, 3, (1, 2)).solution
+
+
+class TestRoundTrip:
+    def test_encoding_reconstructs_dm(self, hamming2_dm, hamming_solution):
+        enc = encode_cell(hamming_solution, "hamming", 2)
+        assert verify_encoding(enc, hamming2_dm)
+
+    def test_every_solution_encodes_and_round_trips(self, hamming2_dm):
+        """The Fig. 5 post-processing must succeed on the *entire*
+        Feasible Region, not just one lucky pick."""
+        count = 0
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2)):
+            enc = encode_cell(sol)
+            assert verify_encoding(enc, hamming2_dm)
+            count += 1
+        assert count == 72
+
+    def test_other_metrics_round_trip(self):
+        for name, cr in (("manhattan", (1, 2)), ("euclidean", (1, 2, 3, 4, 5))):
+            dm = DistanceMatrix.from_metric(name, 2)
+            for k in range(2, 7):
+                result = check_feasibility(dm, k, cr)
+                if result.feasible:
+                    enc = encode_cell(result.solution, name, 2)
+                    assert verify_encoding(enc, dm), (name, k)
+                    break
+            else:
+                pytest.fail(f"no feasible cell found for {name}")
+
+
+class TestTableII:
+    """Regenerate the paper's Table II and check semantic equivalence."""
+
+    # Store: per value, (FET1, FET2, FET3) threshold level indices.
+    STORE = {0: (2, 2, 0), 1: (2, 0, 2), 2: (0, 2, 2), 3: (1, 1, 1)}
+    # Search: per value, (gate levels, vds multiples).
+    SEARCH = {
+        0: ((2, 2, 0), (1, 1, 1)),
+        1: ((1, 0, 2), (2, 1, 1)),
+        2: ((0, 1, 2), (1, 2, 1)),
+        3: ((1, 1, 1), (1, 1, 2)),
+    }
+
+    def test_paper_encoding_in_feasible_region(self, hamming2_dm):
+        """Table II itself must appear among the encoded solutions (up to
+        FeFET permutation)."""
+        found = False
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2)):
+            enc = encode_cell(sol)
+            for perm in itertools.permutations(range(3)):
+                if all(
+                    tuple(enc.fefets[p].store_levels[v] for p in perm)
+                    == self.STORE[v]
+                    and tuple(
+                        enc.fefets[p].search_levels[v] for p in perm
+                    )
+                    == self.SEARCH[v][0]
+                    and tuple(
+                        enc.fefets[p].vds_multiples[v] for p in perm
+                    )
+                    == self.SEARCH[v][1]
+                    for v in range(4)
+                ):
+                    found = True
+        assert found
+
+    def test_best_encoding_matches_paper_cost(self, hamming2_dm):
+        """The cheapest encoding needs exactly the paper's resources:
+        a 3-level Vt/Vs ladder and 2 drain levels."""
+        enc = best_encoding(hamming2_dm, 3, (1, 2))
+        assert enc is not None
+        assert enc.n_ladder_levels == 3
+        assert enc.max_vds_multiple == 2
+
+    def test_conduction_rule_matches_paper(self, hamming2_dm):
+        """Table II caption: 'The FeFET is ON only if Vti < Vsj, where
+        i < j' — the encoding's digital rule."""
+        enc = best_encoding(hamming2_dm, 3, (1, 2))
+        for f in enc.fefets:
+            for s in range(4):
+                for t in range(4):
+                    assert f.is_on(s, t) == (
+                        f.store_levels[t] < f.search_levels[s]
+                    )
+
+
+class TestLevelAssignment:
+    def test_chain_rank_equals_off_count_recipe(self, hamming2_dm):
+        """Our chain-rank construction must agree with the paper's
+        literal OFF-count sorting on the search side."""
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2), limit=20):
+            for i in range(sol.k):
+                enc = encode_fefet(sol, i)
+                assert enc.search_levels == off_count_search_levels(
+                    sol, i
+                )
+
+    def test_store_levels_start_at_zero(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        for f in enc.fefets:
+            assert min(f.store_levels) == 0
+
+    def test_vds_multiples_at_least_one(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        for f in enc.fefets:
+            assert min(f.vds_multiples) >= 1
+
+    def test_ladder_requirements_consistent(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        assert enc.n_ladder_levels == max(
+            enc.n_vth_levels_required, enc.n_search_levels_required
+        )
+
+
+class TestAnalogViews:
+    def test_store_voltages_on_ladder(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        params = FeFETParams(n_vth_levels=enc.n_ladder_levels)
+        for v in range(4):
+            voltages = enc.store_voltages_for(v, params)
+            for volt in voltages:
+                assert volt in params.vth_levels
+
+    def test_search_voltages_on_ladder(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        params = FeFETParams(n_vth_levels=enc.n_ladder_levels)
+        volts, vds = enc.search_voltages_for(1, params)
+        for volt in volts:
+            assert volt in params.search_levels
+        assert all(m >= 1 for m in vds)
+
+    def test_insufficient_ladder_rejected(self, hamming_solution):
+        enc = encode_cell(hamming_solution)
+        shallow = FeFETParams(n_vth_levels=enc.n_ladder_levels - 1)
+        with pytest.raises(EncodingError):
+            enc.store_voltages_for(0, shallow)
+
+
+class TestBestEncoding:
+    def test_respects_ladder_cap(self, hamming2_dm):
+        enc = best_encoding(
+            hamming2_dm, 3, (1, 2), max_ladder_levels=3
+        )
+        assert enc is not None
+        assert enc.n_ladder_levels <= 3
+
+    def test_impossible_ladder_cap_returns_none(self, hamming2_dm):
+        assert (
+            best_encoding(hamming2_dm, 3, (1, 2), max_ladder_levels=1)
+            is None
+        )
+
+    def test_describe_renders_all_values(self, hamming2_dm):
+        enc = best_encoding(hamming2_dm, 3, (1, 2))
+        text = enc.describe()
+        for value in ("'00'", "'01'", "'10'", "'11'"):
+            assert value in text

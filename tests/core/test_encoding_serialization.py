@@ -1,0 +1,70 @@
+"""Encoding serialisation: deploy solved configurations without
+re-running the CSP."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import CellEncoding, best_encoding, verify_encoding
+
+
+@pytest.fixture
+def encoding(hamming2_dm):
+    return best_encoding(hamming2_dm, 3, (1, 2), "hamming", 2)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, encoding):
+        rebuilt = CellEncoding.from_dict(encoding.to_dict())
+        assert rebuilt == encoding
+
+    def test_json_round_trip(self, encoding, hamming2_dm):
+        payload = json.dumps(encoding.to_dict())
+        rebuilt = CellEncoding.from_dict(json.loads(payload))
+        assert verify_encoding(rebuilt, hamming2_dm)
+        assert rebuilt.metric_name == "hamming"
+        assert rebuilt.bits == 2
+
+    def test_rebuilt_encoding_drives_engine_tables(self, encoding):
+        rebuilt = CellEncoding.from_dict(encoding.to_dict())
+        for v in range(4):
+            assert rebuilt.store_levels_for(
+                v
+            ) == encoding.store_levels_for(v)
+            assert rebuilt.search_config_for(
+                v
+            ) == encoding.search_config_for(v)
+
+    def test_reconstructed_dm_identical(self, encoding):
+        rebuilt = CellEncoding.from_dict(encoding.to_dict())
+        assert np.array_equal(
+            rebuilt.reconstruct_dm(), encoding.reconstruct_dm()
+        )
+
+    def test_defaults_for_optional_fields(self, encoding):
+        data = encoding.to_dict()
+        del data["metric_name"]
+        del data["bits"]
+        rebuilt = CellEncoding.from_dict(data)
+        assert rebuilt.metric_name == ""
+        assert rebuilt.bits == 0
+
+
+class TestAcrossMetrics:
+    @pytest.mark.parametrize(
+        "metric, cr",
+        [("manhattan", (1, 2, 3)), ("euclidean", (1, 2, 3, 4, 5))],
+    )
+    def test_other_metrics_serialise(self, metric, cr):
+        from repro.core.feasibility import find_min_cell
+        from repro.core.encoding import encode_cell
+
+        dm = DistanceMatrix.from_metric(metric, 2)
+        result = find_min_cell(dm, cr, max_k=6)
+        enc = encode_cell(result.solution, metric, 2)
+        rebuilt = CellEncoding.from_dict(
+            json.loads(json.dumps(enc.to_dict()))
+        )
+        assert verify_encoding(rebuilt, dm)

@@ -1,0 +1,178 @@
+"""The FeReX engine: configuration, programming, search, references."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ConfigurationError, FeReX
+
+
+class TestConfiguration:
+    def test_auto_uses_csp_for_small_dm(self):
+        engine = FeReX(metric="hamming", bits=2, dims=4)
+        assert engine.k == 3  # the CSP's minimal cell
+
+    def test_auto_uses_constructive_for_wide_dm(self):
+        engine = FeReX(metric="euclidean", bits=2, dims=4)
+        assert engine.k == 6  # thermometer cell, 2*(2^2-1)
+
+    def test_explicit_constructive(self):
+        engine = FeReX(
+            metric="hamming", bits=2, dims=4, encoder="constructive"
+        )
+        assert engine.k == 4  # 2 per bit
+
+    def test_explicit_csp_with_custom_range(self):
+        engine = FeReX(
+            metric="euclidean",
+            bits=2,
+            dims=2,
+            encoder="csp",
+            current_range=(1, 2, 3, 4, 5),
+        )
+        assert engine.k == 4  # smaller than the constructive 6
+
+    def test_unknown_encoder_rejected(self):
+        with pytest.raises(ValueError):
+            FeReX(encoder="magic")
+
+    def test_infeasible_csp_raises(self):
+        with pytest.raises(ConfigurationError):
+            FeReX(metric="hamming", bits=2, dims=2, encoder="csp",
+                  max_k=2)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            FeReX(bits=0)
+        with pytest.raises(ValueError):
+            FeReX(dims=0)
+
+    def test_tech_specialised_to_encoding(self):
+        engine = FeReX(metric="hamming", bits=2, dims=4)
+        assert (
+            engine.tech.fefet.n_vth_levels
+            == engine.encoding.n_ladder_levels
+        )
+        assert (
+            engine.tech.cell.max_vds_multiple
+            >= engine.encoding.max_vds_multiple
+        )
+
+    def test_physical_columns(self):
+        engine = FeReX(metric="hamming", bits=2, dims=8)
+        assert engine.physical_cols == 8 * engine.k
+
+
+class TestProgramSearch:
+    @pytest.fixture
+    def engine(self):
+        eng = FeReX(metric="hamming", bits=2, dims=6)
+        stored = np.array(
+            [
+                [0, 0, 0, 0, 0, 0],
+                [3, 3, 3, 3, 3, 3],
+                [0, 1, 2, 3, 0, 1],
+                [2, 2, 2, 2, 2, 2],
+            ]
+        )
+        eng.program(stored)
+        return eng
+
+    def test_search_before_program_raises(self):
+        eng = FeReX(metric="hamming", bits=2, dims=4)
+        with pytest.raises(RuntimeError):
+            eng.search([0, 0, 0, 0])
+
+    def test_exact_match_wins_with_zero_distance(self, engine):
+        result = engine.search([0, 1, 2, 3, 0, 1])
+        assert result.winner == 2
+        assert result.hardware_distances[2] == pytest.approx(0.0, abs=0.05)
+
+    def test_hardware_matches_software_exactly(self, engine, rng):
+        for _ in range(10):
+            q = rng.integers(0, 4, size=6)
+            hw = np.round(
+                engine.search(q).hardware_distances
+            ).astype(int)
+            sw = engine.software_distances(q)
+            assert np.array_equal(hw, sw)
+
+    def test_winner_is_software_nearest(self, engine, rng):
+        for _ in range(10):
+            q = rng.integers(0, 4, size=6)
+            result = engine.search(q)
+            sw = engine.software_distances(q)
+            assert sw[result.winner] == sw.min()
+
+    def test_search_k_ordering(self, engine):
+        results = engine.search_k([0, 0, 0, 0, 0, 0], 3)
+        winners = [r.winner for r in results]
+        assert winners[0] == 0
+        assert len(set(winners)) == 3
+        d = [r.hardware_distances[r.winner] for r in results]
+        assert d[0] <= d[1] + 0.1
+
+    def test_latency_and_energy_exposed(self, engine):
+        result = engine.search([0, 0, 0, 0, 0, 0])
+        assert result.latency > 0
+        assert result.energy > 0
+
+    def test_program_validates_shape(self):
+        eng = FeReX(metric="hamming", bits=2, dims=4)
+        with pytest.raises(ValueError):
+            eng.program(np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError):
+            eng.program(np.zeros((0, 4), dtype=int))
+
+    def test_program_validates_range(self):
+        eng = FeReX(metric="hamming", bits=2, dims=4)
+        with pytest.raises(ValueError):
+            eng.program(np.full((2, 4), 4))
+
+    def test_query_validates_range(self, engine):
+        with pytest.raises(ValueError):
+            engine.search([0, 0, 0, 0, 0, 4])
+        with pytest.raises(ValueError):
+            engine.search([0, 0, 0])
+
+
+class TestAllMetricsEndToEnd:
+    @pytest.mark.parametrize(
+        "metric", ["hamming", "manhattan", "euclidean"]
+    )
+    def test_round_trip(self, metric, rng):
+        engine = FeReX(metric=metric, bits=2, dims=8)
+        stored = rng.integers(0, 4, size=(12, 8))
+        engine.program(stored)
+        for _ in range(5):
+            q = rng.integers(0, 4, size=8)
+            hw = np.round(
+                engine.search(q).hardware_distances
+            ).astype(int)
+            sw = engine.software_distances(q)
+            assert np.array_equal(hw, sw), metric
+
+
+class TestVariation:
+    def test_seeded_variation_reproducible(self, rng):
+        stored = rng.integers(0, 4, size=(8, 6))
+        q = rng.integers(0, 4, size=6)
+
+        def reading(seed):
+            eng = FeReX(metric="hamming", bits=2, dims=6, seed=seed)
+            eng.program(stored)
+            return eng.search(q).hardware_distances
+
+        assert np.array_equal(reading(5), reading(5))
+        assert not np.array_equal(reading(5), reading(6))
+
+    def test_variation_bounded(self, rng):
+        """With the paper's variation numbers, readings stay within a
+        unit of the true distance for DATE-scale vectors."""
+        stored = rng.integers(0, 4, size=(8, 16))
+        eng = FeReX(metric="hamming", bits=2, dims=16, seed=9)
+        eng.program(stored)
+        for _ in range(5):
+            q = rng.integers(0, 4, size=16)
+            hw = eng.search(q).hardware_distances
+            sw = eng.software_distances(q)
+            assert np.abs(hw - sw).max() < 3.0

@@ -1,0 +1,114 @@
+"""Extension metrics beyond the paper's three: best-match and
+saturating (capped) Manhattan — Table I's neighbouring AM functions
+realised on the same FeReX machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.constructive import (
+    best_match_cell,
+    capped_manhattan_cell,
+    constructive_cell,
+)
+from repro.core.distance import capped_manhattan, get_metric
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import encode_cell, verify_encoding
+from repro.core.feasibility import find_min_cell
+
+
+class TestBestMatchMetric:
+    def test_definition(self):
+        metric = get_metric("best-match")
+        assert metric.element(3, 3, 2) == 0
+        assert metric.element(3, 0, 2) == 1
+        assert metric.element(1, 2, 2) == 1
+
+    def test_vector_counts_mismatches(self):
+        metric = get_metric("best-match")
+        assert metric.vector([0, 1, 2, 3], [0, 2, 2, 0], 2) == 2
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_constructive_cell_is_two_fefets(self, bits):
+        """K = 2 for any bit width — mismatch detection is cheap."""
+        sol = best_match_cell(bits)
+        assert sol.k == 2
+        dm = DistanceMatrix.from_metric("best-match", bits)
+        assert np.array_equal(sol.current_matrix(), dm.values)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_encodes_and_round_trips(self, bits):
+        sol = constructive_cell("best-match", bits)
+        enc = encode_cell(sol, "best-match", bits)
+        dm = DistanceMatrix.from_metric("best-match", bits)
+        assert verify_encoding(enc, dm)
+
+    def test_csp_agrees_on_minimal_cell(self):
+        """Algorithm 1 independently confirms K=2 at 2 bits."""
+        dm = DistanceMatrix.from_metric("best-match", 2)
+        result = find_min_cell(dm, (1,), max_k=4)
+        assert result.feasible
+        assert result.k == 2
+
+
+class TestCappedManhattan:
+    def test_saturation(self):
+        metric = capped_manhattan(2)
+        assert metric.element(0, 3, 2) == 2  # capped from 3
+        assert metric.element(0, 1, 2) == 1
+        assert metric.element(2, 2, 2) == 0
+
+    def test_registered_and_cached(self):
+        a = capped_manhattan(2)
+        b = capped_manhattan(2)
+        assert a is b
+        assert get_metric("capped-manhattan-2") is a
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            capped_manhattan(0)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_constructive_cell_correct(self, bits, cap):
+        sol = capped_manhattan_cell(bits, cap)
+        metric = capped_manhattan(cap)
+        dm = DistanceMatrix.from_metric(metric, bits)
+        assert np.array_equal(sol.current_matrix(), dm.values)
+
+    @pytest.mark.parametrize("cap", [1, 2])
+    def test_encodes_and_round_trips(self, cap):
+        sol = capped_manhattan_cell(2, cap)
+        metric = capped_manhattan(cap)
+        dm = DistanceMatrix.from_metric(metric, 2)
+        enc = encode_cell(sol, metric.name, 2)
+        assert verify_encoding(enc, dm)
+
+    def test_saturation_shrinks_cells(self):
+        """The design insight of the sigmoid AM [Kazemi, TC 2021]:
+        bounding the per-element distance bounds the cell current and
+        shrinks the minimal cell."""
+        full = DistanceMatrix.from_metric("manhattan", 2)
+        capped = DistanceMatrix.from_metric(capped_manhattan(1), 2)
+        k_full = find_min_cell(full, (1, 2)).k
+        k_capped = find_min_cell(capped, (1, 2)).k
+        assert k_capped < k_full
+
+    def test_cap_one_equals_best_match(self):
+        """min(|s-t|, 1) is exactly the mismatch indicator."""
+        capped = DistanceMatrix.from_metric(capped_manhattan(1), 2)
+        best = DistanceMatrix.from_metric("best-match", 2)
+        assert np.array_equal(capped.values, best.values)
+
+
+class TestEngineWithExtensions:
+    def test_best_match_end_to_end(self, rng):
+        from repro.core.engine import FeReX
+
+        engine = FeReX(metric="best-match", bits=2, dims=6)
+        stored = rng.integers(0, 4, size=(8, 6))
+        engine.program(stored)
+        for _ in range(5):
+            q = rng.integers(0, 4, size=6)
+            hw = np.round(engine.search(q).hardware_distances).astype(int)
+            sw = engine.software_distances(q)
+            assert np.array_equal(hw, sw)

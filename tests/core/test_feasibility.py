@@ -1,0 +1,189 @@
+"""Algorithm 1: row enumeration, constraint checks, feasibility results."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.dm import DistanceMatrix
+from repro.core.feasibility import (
+    RowAssignment,
+    check_feasibility,
+    enumerate_row_assignments,
+    find_min_cell,
+    iter_solutions,
+    rows_compatible,
+)
+
+
+class TestRowEnumeration:
+    def test_constraint2_enforced(self):
+        """Within a row, each FeFET's non-zero currents must be equal
+        (paper Fig. 4(d))."""
+        for row in enumerate_row_assignments([0, 1, 1, 2], 3, (1, 2)):
+            for i in range(3):
+                currents = {
+                    row.current(i, t) for t in range(4)
+                } - {0}
+                assert len(currents) <= 1
+
+    def test_row_totals_match_dm_row(self):
+        dm_row = [1, 0, 2, 1]
+        for row in enumerate_row_assignments(dm_row, 3, (1, 2)):
+            for t, expected in enumerate(dm_row):
+                assert row.row_total(t, 3) == expected
+
+    def test_impossible_row_is_empty(self):
+        # A single FeFET cannot produce two different non-zero currents.
+        assert enumerate_row_assignments([1, 2], 1, (1, 2)) == []
+
+    def test_single_value_row(self):
+        rows = enumerate_row_assignments([2], 1, (1, 2))
+        assert len(rows) == 1
+        assert rows[0].magnitudes == (2,)
+
+    def test_unreachable_value_empty(self):
+        assert enumerate_row_assignments([9], 2, (1, 2)) == []
+
+    def test_all_assignments_unique(self):
+        rows = enumerate_row_assignments([0, 1, 1, 2], 3, (1, 2))
+        assert len(rows) == len(set(rows))
+
+
+class TestCompatibility:
+    def test_nested_masks_compatible(self):
+        a = RowAssignment((1,), (0b0011,))
+        b = RowAssignment((1,), (0b0001,))
+        assert rows_compatible(a, b)
+
+    def test_crossing_masks_incompatible(self):
+        """Paper Fig. 4(e): FeFET ON for {00} in one row and {01} in
+        another is a threshold-ordering conflict."""
+        a = RowAssignment((1,), (0b0001,))
+        b = RowAssignment((1,), (0b0010,))
+        assert not rows_compatible(a, b)
+
+    def test_disjoint_with_empty_ok(self):
+        a = RowAssignment((1,), (0b0000,))
+        b = RowAssignment((1,), (0b0110,))
+        assert rows_compatible(a, b)
+
+    def test_all_fefets_must_nest(self):
+        a = RowAssignment((1, 1), (0b0011, 0b0001))
+        b = RowAssignment((1, 1), (0b0001, 0b0010))
+        assert not rows_compatible(a, b)
+
+
+class TestFeasibility:
+    def test_2bit_hamming_needs_three_fefets(self, hamming2_dm):
+        """The paper's headline cell-design result (Table II): 3FeFET3R
+        is minimal for 2-bit Hamming with two drain levels."""
+        assert not check_feasibility(hamming2_dm, 1, (1, 2)).feasible
+        assert not check_feasibility(hamming2_dm, 2, (1, 2)).feasible
+        result = check_feasibility(hamming2_dm, 3, (1, 2))
+        assert result.feasible
+
+    def test_solution_verifies(self, hamming2_dm):
+        result = check_feasibility(hamming2_dm, 3, (1, 2))
+        assert result.solution.verify(hamming2_dm)
+
+    def test_solution_reproduces_dm(self, hamming2_dm):
+        result = check_feasibility(hamming2_dm, 3, (1, 2))
+        assert np.array_equal(
+            result.solution.current_matrix(), hamming2_dm.values
+        )
+
+    def test_domain_stats_populated(self, hamming2_dm):
+        result = check_feasibility(hamming2_dm, 3, (1, 2))
+        assert len(result.row_domain_sizes) == 4
+        assert all(s > 0 for s in result.row_domain_sizes)
+        assert len(result.pruned_domain_sizes) == 4
+
+    def test_without_ac3_same_verdict(self, hamming2_dm):
+        """Skipping AC-3 must not change feasibility, only cost."""
+        with_ac3 = check_feasibility(hamming2_dm, 3, (1, 2), run_ac3=True)
+        without = check_feasibility(
+            hamming2_dm, 3, (1, 2), run_ac3=False
+        )
+        assert with_ac3.feasible == without.feasible
+        assert without.solution.verify(hamming2_dm)
+
+    def test_bool_protocol(self, hamming2_dm):
+        assert check_feasibility(hamming2_dm, 3, (1, 2))
+        assert not check_feasibility(hamming2_dm, 2, (1, 2))
+
+    def test_manhattan_2bit_feasible(self):
+        dm = DistanceMatrix.from_metric("manhattan", 2)
+        result = find_min_cell(dm, (1, 2, 3, 4))
+        assert result.feasible
+        assert result.solution.verify(dm)
+
+    def test_euclidean_2bit_infeasible_at_k3(self):
+        dm = DistanceMatrix.from_metric("euclidean", 2)
+        assert not check_feasibility(dm, 3, tuple(range(1, 10))).feasible
+
+    def test_euclidean_2bit_feasible_at_k4_with_deep_vds(self):
+        dm = DistanceMatrix.from_metric("euclidean", 2)
+        result = check_feasibility(dm, 4, tuple(range(1, 10)))
+        assert result.feasible
+        assert result.solution.verify(dm)
+
+
+class TestFindMinCell:
+    def test_hamming_min_is_three(self, hamming2_dm):
+        result = find_min_cell(hamming2_dm, (1, 2))
+        assert result.k == 3
+        assert result.feasible
+
+    def test_starts_at_lower_bound(self):
+        """max(DM)=9 with CR max 4 cannot fit in fewer than 3 FeFETs, so
+        the search must not waste time below K=3."""
+        dm = DistanceMatrix.from_metric("euclidean", 2)
+        result = find_min_cell(dm, (1, 2, 3, 4), max_k=4)
+        assert result.k >= 3
+
+    def test_respects_max_k(self, hamming2_dm):
+        result = find_min_cell(hamming2_dm, (1,), max_k=1)
+        assert not result.feasible
+
+    def test_1bit_metrics_trivial(self):
+        for name in ("hamming", "manhattan", "euclidean"):
+            dm = DistanceMatrix.from_metric(name, 1)
+            result = find_min_cell(dm, (1, 2))
+            assert result.feasible
+            assert result.k <= 2
+
+
+class TestIterSolutions:
+    def test_feasible_region_size_2bit_hamming(self, hamming2_dm):
+        """The full Feasible Region of the Table II instance."""
+        solutions = list(iter_solutions(hamming2_dm, 3, (1, 2)))
+        assert len(solutions) == 72
+
+    def test_all_solutions_verify(self, hamming2_dm):
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2)):
+            assert sol.verify(hamming2_dm)
+
+    def test_all_solutions_distinct(self, hamming2_dm):
+        seen = set()
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2)):
+            key = tuple(
+                (row.magnitudes, row.on_masks) for row in sol.rows
+            )
+            assert key not in seen
+            seen.add(key)
+
+    def test_limit_respected(self, hamming2_dm):
+        solutions = list(iter_solutions(hamming2_dm, 3, (1, 2), limit=5))
+        assert len(solutions) == 5
+
+    def test_infeasible_instance_yields_nothing(self, hamming2_dm):
+        assert list(iter_solutions(hamming2_dm, 2, (1, 2))) == []
+
+    def test_chain_property_holds_in_every_solution(self, hamming2_dm):
+        """Constraint 3: every FeFET's row ON-sets form a chain."""
+        for sol in iter_solutions(hamming2_dm, 3, (1, 2), limit=20):
+            for i in range(sol.k):
+                masks = sol.fefet_on_masks(i)
+                for a, b in itertools.combinations(masks, 2):
+                    assert (a & b) in (a, b)

@@ -1,0 +1,118 @@
+"""1FeFET1R cell: clamping, exact-vs-fast agreement, unit currents."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.cell import OneFeFETOneR
+from repro.devices.tech import CellParams, FeFETParams
+
+
+PARAMS = FeFETParams()
+CELL = CellParams()
+
+
+class TestClamping:
+    def test_on_current_is_vds_over_r(self):
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(0))
+        vgs = PARAMS.search_voltage(2)
+        i = cell.current_fast(vgs, 0.2)
+        assert i == pytest.approx(0.2 / CELL.resistance, rel=1e-6)
+
+    def test_on_current_insensitive_to_vth(self):
+        """The 1FeFET1R design point: ON current independent of which Vth
+        the device stores [Soliman, IEDM 2020]."""
+        vgs = PARAMS.search_voltage(2)
+        i0 = OneFeFETOneR(vth=PARAMS.vth_level(0)).current_exact(vgs, 0.2)
+        i1 = OneFeFETOneR(vth=PARAMS.vth_level(1)).current_exact(vgs, 0.2)
+        assert i1 == pytest.approx(i0, rel=0.02)
+
+    def test_on_current_insensitive_to_vth_variation(self):
+        vgs = PARAMS.search_voltage(1)
+        base = PARAMS.vth_level(0)
+        i_lo = OneFeFETOneR(vth=base - 0.054).current_exact(vgs, 0.2)
+        i_hi = OneFeFETOneR(vth=base + 0.054).current_exact(vgs, 0.2)
+        assert i_hi == pytest.approx(i_lo, rel=0.02)
+
+    def test_off_state_negligible(self):
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(2))
+        i = cell.current_fast(PARAMS.search_voltage(1), 0.2)
+        assert i < 0.01 * CELL.unit_current
+
+    def test_is_clamped_in_on_state(self):
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(0))
+        assert cell.is_clamped(PARAMS.search_voltage(2), 0.2)
+
+    def test_not_clamped_when_off(self):
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(2))
+        assert not cell.is_clamped(PARAMS.search_voltage(1), 0.2)
+
+    def test_resistor_scales_current(self):
+        vgs = PARAMS.search_voltage(2)
+        i1 = OneFeFETOneR(vth=0.2, resistance=1e6).current_fast(vgs, 0.2)
+        i2 = OneFeFETOneR(vth=0.2, resistance=2e6).current_fast(vgs, 0.2)
+        assert i1 / i2 == pytest.approx(2.0, rel=1e-6)
+
+
+class TestExactVsFast:
+    @pytest.mark.parametrize("vth_level", [0, 1, 2])
+    @pytest.mark.parametrize("search_level", [0, 1, 2])
+    @pytest.mark.parametrize("vds_mult", [1, 2, 3])
+    def test_agreement_across_grid(self, vth_level, search_level, vds_mult):
+        """The closed form must track the bisection solution to a couple
+        of percent over the whole operating grid."""
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(vth_level))
+        vgs = PARAMS.search_voltage(search_level)
+        vds = vds_mult * CELL.vds_unit
+        exact = cell.current_exact(vgs, vds)
+        fast = cell.current_fast(vgs, vds)
+        scale = max(exact, CELL.unit_current * 0.01)
+        assert abs(exact - fast) / scale < 0.05
+
+    def test_zero_vds(self):
+        cell = OneFeFETOneR(vth=0.2)
+        assert cell.current_exact(1.0, 0.0) == 0.0
+        assert cell.current_fast(1.0, 0.0) == 0.0
+
+
+class TestUnitCurrents:
+    def test_integer_multiples(self):
+        """Paper: 'all Ids values are integer multiples of the minimum Ids
+        value'."""
+        cell = OneFeFETOneR(vth=PARAMS.vth_level(0))
+        vgs = PARAMS.search_voltage(2)
+        for mult in range(CELL.max_vds_multiple + 1):
+            units = cell.current_units(vgs, mult)
+            assert units == pytest.approx(mult, abs=1e-6)
+
+    def test_negative_multiple_rejected(self):
+        cell = OneFeFETOneR(vth=0.2)
+        with pytest.raises(ValueError):
+            cell.current_units(1.0, -1)
+
+
+class TestValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            OneFeFETOneR(vth=0.2, resistance=-1.0)
+
+    def test_negative_vds_rejected(self):
+        cell = OneFeFETOneR(vth=0.2)
+        with pytest.raises(ValueError):
+            cell.current_fast(1.0, -0.1)
+        with pytest.raises(ValueError):
+            cell.current_exact(1.0, -0.1)
+
+
+class TestPropertyBased:
+    @given(
+        vth=st.floats(min_value=0.1, max_value=1.5),
+        vgs=st.floats(min_value=-0.2, max_value=1.5),
+        mult=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_current_bounded_by_clamp(self, vth, vgs, mult):
+        """No bias condition can push the cell past Vds/R."""
+        cell = OneFeFETOneR(vth=vth)
+        vds = mult * CELL.vds_unit
+        i = cell.current_fast(vgs, vds)
+        assert 0.0 <= i <= vds / CELL.resistance + 1e-18

@@ -1,0 +1,184 @@
+"""Preisach hysteresis model: branches, minor loops, pulse programming."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.preisach import (
+    PreisachFerroelectric,
+    ascending_branch,
+    descending_branch,
+    polarization_to_vth,
+    program_pulse_for_vth,
+    vth_to_polarization,
+)
+from repro.devices.tech import FeFETParams
+
+
+PARAMS = FeFETParams()
+
+
+class TestBranches:
+    def test_ascending_passes_through_remanence_at_zero(self):
+        """The set branch is anchored so P(0) = -Pr-ish on the way up...
+        actually P(+Vc) = 0 by construction."""
+        assert ascending_branch(PARAMS.coercive_voltage, PARAMS) == pytest.approx(0.0, abs=1e-12)
+
+    def test_descending_zero_crossing_at_negative_coercive(self):
+        assert descending_branch(-PARAMS.coercive_voltage, PARAMS) == pytest.approx(0.0, abs=1e-12)
+
+    def test_branches_saturate(self):
+        big = 20 * PARAMS.coercive_voltage
+        assert ascending_branch(big, PARAMS) == pytest.approx(
+            PARAMS.saturation_polarization, rel=1e-6
+        )
+        assert descending_branch(-big, PARAMS) == pytest.approx(
+            -PARAMS.saturation_polarization, rel=1e-6
+        )
+
+    def test_branches_monotonic(self):
+        vs = [(-5 + 0.1 * i) for i in range(100)]
+        asc = [ascending_branch(v, PARAMS) for v in vs]
+        desc = [descending_branch(v, PARAMS) for v in vs]
+        assert all(a <= b + 1e-15 for a, b in zip(asc, asc[1:]))
+        assert all(a <= b + 1e-15 for a, b in zip(desc, desc[1:]))
+
+    def test_hysteresis_ordering(self):
+        """At any voltage the descending branch lies above the ascending
+        one (counter-clockwise loop)."""
+        for v in (-1.0, 0.0, 1.0):
+            assert descending_branch(v, PARAMS) >= ascending_branch(v, PARAMS)
+
+
+class TestQuasiStatic:
+    def test_initial_state_is_erased(self):
+        dev = PreisachFerroelectric(PARAMS)
+        assert dev.polarization == pytest.approx(
+            -PARAMS.remanent_polarization
+        )
+
+    def test_full_set_then_release_reaches_positive_remanence(self):
+        dev = PreisachFerroelectric(PARAMS)
+        dev.apply_voltage(20 * PARAMS.coercive_voltage)
+        p = dev.release()
+        assert p == pytest.approx(PARAMS.remanent_polarization, rel=0.05)
+
+    def test_full_reset_then_release_reaches_negative_remanence(self):
+        dev = PreisachFerroelectric(PARAMS)
+        dev.apply_voltage(20 * PARAMS.coercive_voltage)
+        dev.apply_voltage(-20 * PARAMS.coercive_voltage)
+        p = dev.release()
+        assert p == pytest.approx(-PARAMS.remanent_polarization, rel=0.05)
+
+    def test_polarization_bounded_by_saturation(self):
+        dev = PreisachFerroelectric(PARAMS)
+        for v in (5.0, -8.0, 2.0, -1.0, 9.0, -9.0):
+            p = dev.apply_voltage(v)
+            assert abs(p) <= PARAMS.saturation_polarization + 1e-12
+
+    def test_minor_loop_closes(self):
+        """Cycling between two sub-saturating voltages returns to the same
+        polarization — the Preisach closure property."""
+        dev = PreisachFerroelectric(PARAMS)
+        dev.apply_voltage(2.0)
+        dev.apply_voltage(0.5)
+        p1 = dev.apply_voltage(2.0)
+        dev.apply_voltage(0.5)
+        p2 = dev.apply_voltage(2.0)
+        assert p2 == pytest.approx(p1, abs=1e-9)
+
+    def test_same_voltage_is_idempotent(self):
+        dev = PreisachFerroelectric(PARAMS)
+        p1 = dev.apply_voltage(1.5)
+        p2 = dev.apply_voltage(1.5)
+        assert p1 == p2
+
+    def test_reset_clears_history(self):
+        dev = PreisachFerroelectric(PARAMS)
+        dev.apply_voltage(3.0)
+        dev.apply_voltage(-1.0)
+        dev.reset()
+        assert dev.polarization == pytest.approx(
+            -PARAMS.remanent_polarization
+        )
+
+    def test_larger_excursion_switches_more(self):
+        values = []
+        for amp in (1.0, 2.0, 3.0, 4.0):
+            dev = PreisachFerroelectric(PARAMS)
+            dev.apply_voltage(amp)
+            values.append(dev.release())
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestPulseProgramming:
+    def test_longer_pulse_lowers_vth(self):
+        """Paper Sec. II-A: longer positive pulses shift Vth lower."""
+        vths = []
+        for width in (1e-7, 1e-6, 1e-5):
+            dev = PreisachFerroelectric(PARAMS)
+            pol = dev.apply_pulse(2.0, width)
+            vths.append(polarization_to_vth(pol, PARAMS))
+        assert vths[0] > vths[1] > vths[2]
+
+    def test_zero_width_rejected(self):
+        dev = PreisachFerroelectric(PARAMS)
+        with pytest.raises(ValueError):
+            dev.apply_pulse(2.0, 0.0)
+
+    def test_inverse_programming_hits_targets(self):
+        """program_pulse_for_vth must land within a few millivolts of any
+        target level in the window."""
+        for level in range(PARAMS.n_vth_levels):
+            target = PARAMS.vth_level(level)
+            amp = program_pulse_for_vth(target, PARAMS)
+            dev = PreisachFerroelectric(PARAMS)
+            pol = dev.apply_pulse(amp)
+            assert polarization_to_vth(pol, PARAMS) == pytest.approx(
+                target, abs=0.02
+            )
+
+
+class TestVthMapping:
+    def test_round_trip(self):
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+            vth = PARAMS.vth_low + frac * PARAMS.memory_window
+            pol = vth_to_polarization(vth, PARAMS)
+            assert polarization_to_vth(pol, PARAMS) == pytest.approx(vth)
+
+    def test_positive_remanence_gives_lowest_vth(self):
+        assert polarization_to_vth(
+            PARAMS.remanent_polarization, PARAMS
+        ) == pytest.approx(PARAMS.vth_low)
+
+    def test_negative_remanence_gives_highest_vth(self):
+        assert polarization_to_vth(
+            -PARAMS.remanent_polarization, PARAMS
+        ) == pytest.approx(PARAMS.vth_low + PARAMS.memory_window)
+
+    @given(st.floats(min_value=-0.3, max_value=0.3))
+    @settings(max_examples=50, deadline=None)
+    def test_map_is_monotone_decreasing(self, pol):
+        """More positive polarization never raises the threshold."""
+        eps = 1e-6
+        v1 = polarization_to_vth(pol, PARAMS)
+        v2 = polarization_to_vth(pol + eps, PARAMS)
+        assert v2 <= v1 + 1e-12
+
+
+class TestHistoryProperty:
+    @given(
+        st.lists(
+            st.floats(min_value=-6.0, max_value=6.0),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_polarization_always_bounded(self, voltages):
+        dev = PreisachFerroelectric(PARAMS)
+        for v in voltages:
+            p = dev.apply_voltage(v)
+            assert abs(p) <= PARAMS.saturation_polarization + 1e-9
+            assert not math.isnan(p)

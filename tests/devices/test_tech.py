@@ -1,0 +1,105 @@
+"""Technology-parameter invariants: the Vt/Vs ladder and unit current."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices.tech import (
+    DEFAULT_TECH,
+    CellParams,
+    FeFETParams,
+    TechConfig,
+)
+
+
+class TestVthLadder:
+    def test_levels_ascending(self):
+        p = FeFETParams()
+        levels = p.vth_levels
+        assert all(a < b for a, b in zip(levels, levels[1:]))
+
+    def test_level_count_matches_mlc_depth(self):
+        for n in (1, 2, 3, 4, 6):
+            p = FeFETParams(n_vth_levels=n)
+            assert len(p.vth_levels) == n
+
+    def test_lowest_level_is_vth_low(self):
+        p = FeFETParams()
+        assert p.vth_level(0) == pytest.approx(p.vth_low)
+
+    def test_highest_level_spans_memory_window(self):
+        p = FeFETParams()
+        assert p.vth_level(p.n_vth_levels - 1) == pytest.approx(
+            p.vth_low + p.memory_window
+        )
+
+    def test_out_of_range_level_rejected(self):
+        p = FeFETParams()
+        with pytest.raises(ValueError):
+            p.vth_level(-1)
+        with pytest.raises(ValueError):
+            p.vth_level(p.n_vth_levels)
+
+    def test_single_level_device(self):
+        p = FeFETParams(n_vth_levels=1)
+        assert p.vth_levels == (p.vth_low,)
+
+
+class TestSearchLadder:
+    def test_interleave_rule(self):
+        """Paper Table II: 'The FeFET is ON only if Vti < Vsj, where
+        i < j' — the ladder must realise exactly that predicate."""
+        for n in (2, 3, 4, 5):
+            p = FeFETParams(n_vth_levels=n)
+            for i in range(n):
+                for j in range(n):
+                    conducts = p.search_levels[j] > p.vth_levels[i]
+                    assert conducts == (i < j), (n, i, j)
+
+    def test_search_levels_ascending(self):
+        p = FeFETParams(n_vth_levels=4)
+        s = p.search_levels
+        assert all(a < b for a, b in zip(s, s[1:]))
+
+    def test_lowest_search_level_activates_nothing(self):
+        p = FeFETParams()
+        assert p.search_voltage(0) < p.vth_level(0)
+
+    def test_out_of_range_search_level_rejected(self):
+        p = FeFETParams()
+        with pytest.raises(ValueError):
+            p.search_voltage(p.n_vth_levels)
+
+
+class TestCellParams:
+    def test_unit_current(self):
+        c = CellParams(resistance=1e6, vds_unit=0.1)
+        assert c.unit_current == pytest.approx(100e-9)
+
+    def test_unit_current_scales_with_resistance(self):
+        base = CellParams(resistance=1e6).unit_current
+        double = CellParams(resistance=2e6).unit_current
+        assert double == pytest.approx(base / 2)
+
+
+class TestTechConfig:
+    def test_default_groups_present(self):
+        t = DEFAULT_TECH
+        assert t.fefet.n_vth_levels == 3
+        assert t.cell.resistance > 0
+        assert t.variation.sigma_vth == pytest.approx(0.054)
+        assert t.variation.sigma_r_rel == pytest.approx(0.08)
+
+    def test_replace_produces_new_config(self):
+        t = TechConfig()
+        t2 = dataclasses.replace(
+            t, fefet=dataclasses.replace(t.fefet, n_vth_levels=5)
+        )
+        assert t2.fefet.n_vth_levels == 5
+        assert t.fefet.n_vth_levels == 3
+
+    def test_opamp_static_power(self):
+        t = TechConfig()
+        assert t.opamp.static_power == pytest.approx(
+            t.opamp.quiescent_current * t.opamp.supply_voltage
+        )

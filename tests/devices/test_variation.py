@@ -1,0 +1,74 @@
+"""Variation sampling: reproducibility, shapes, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.devices.tech import VariationParams
+from repro.devices.variation import (
+    VariationSampler,
+    nominal_variation,
+)
+
+
+class TestReproducibility:
+    def test_same_seed_same_arrays(self):
+        a = VariationSampler(seed=7).sample_array(16, 32)
+        b = VariationSampler(seed=7).sample_array(16, 32)
+        assert np.array_equal(a.vth_offset, b.vth_offset)
+        assert np.array_equal(a.r_factor, b.r_factor)
+        assert np.array_equal(a.lta_offset, b.lta_offset)
+        assert np.array_equal(a.row_gain, b.row_gain)
+
+    def test_different_seeds_differ(self):
+        a = VariationSampler(seed=7).sample_array(16, 32)
+        b = VariationSampler(seed=8).sample_array(16, 32)
+        assert not np.array_equal(a.vth_offset, b.vth_offset)
+
+
+class TestShapes:
+    def test_array_variation_shapes(self):
+        v = VariationSampler(seed=1).sample_array(10, 20)
+        assert v.vth_offset.shape == (10, 20)
+        assert v.r_factor.shape == (10, 20)
+        assert v.lta_offset.shape == (10,)
+        assert v.row_gain.shape == (10,)
+        assert v.shape == (10, 20)
+
+
+class TestStatistics:
+    def test_vth_sigma_matches_paper(self):
+        """54 mV device-to-device threshold spread (Sec. IV-A)."""
+        v = VariationSampler(seed=3).sample_vth_offsets(200, 200)
+        assert v.std() == pytest.approx(0.054, rel=0.05)
+        assert abs(v.mean()) < 0.002
+
+    def test_resistor_sigma_matches_paper(self):
+        """8 % resistor spread extracted from fabricated data."""
+        f = VariationSampler(seed=4).sample_resistor_factors(200, 200)
+        assert f.std() == pytest.approx(0.08, rel=0.05)
+        assert f.mean() == pytest.approx(1.0, abs=0.002)
+
+    def test_resistor_factors_strictly_positive(self):
+        params = VariationParams(sigma_r_rel=0.5)
+        f = VariationSampler(params, seed=5).sample_resistor_factors(
+            100, 100
+        )
+        assert f.min() > 0.0
+
+    def test_row_gain_centered_on_unity(self):
+        g = VariationSampler(seed=6).sample_row_gains(5000)
+        assert g.mean() == pytest.approx(1.0, abs=0.005)
+
+    def test_custom_magnitudes_respected(self):
+        params = VariationParams(sigma_vth=0.1)
+        v = VariationSampler(params, seed=2).sample_vth_offsets(200, 100)
+        assert v.std() == pytest.approx(0.1, rel=0.05)
+
+
+class TestNominal:
+    def test_nominal_is_ideal(self):
+        v = nominal_variation(8, 12)
+        assert not v.vth_offset.any()
+        assert np.array_equal(v.r_factor, np.ones((8, 12)))
+        assert not v.lta_offset.any()
+        assert np.array_equal(v.row_gain, np.ones(8))

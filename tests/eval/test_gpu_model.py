@@ -1,0 +1,72 @@
+"""GPU roofline baseline."""
+
+import pytest
+
+from repro.eval.gpu_model import GPUCostModel, GPUSpec
+
+
+class TestRoofline:
+    def test_memory_bound_for_distance_search(self):
+        """Distance matvecs re-use each element O(1) times: the model
+        must classify them as memory-bound (the structural reason CIM
+        wins)."""
+        est = GPUCostModel().distance_search(1000, 26, 8192)
+        assert est.bound == "memory"
+
+    def test_compute_bound_for_heavy_kernels(self):
+        est = GPUCostModel().distance_search(
+            1000, 26, 8192, flops_per_element=10000.0
+        )
+        assert est.bound == "compute"
+
+    def test_time_scales_with_queries(self):
+        model = GPUCostModel()
+        t1 = model.distance_search(100, 26, 4096).time
+        t2 = model.distance_search(10000, 26, 4096).time
+        assert t2 > 10 * t1
+
+    def test_energy_proportional_to_time(self):
+        spec = GPUSpec()
+        est = GPUCostModel(spec).distance_search(500, 26, 4096)
+        assert est.energy == pytest.approx(
+            est.time * spec.board_power * spec.power_utilisation
+        )
+
+    def test_kernel_overhead_dominates_tiny_batches(self):
+        """Batch-1 inference pays one launch per query — the regime the
+        paper's per-query speedups come from."""
+        model = GPUCostModel()
+        est = model.distance_search(1, 26, 4096, batch_size=1)
+        assert est.time >= model.spec.kernel_overhead
+
+    def test_batching_amortises_overhead(self):
+        model = GPUCostModel()
+        t_batched = model.distance_search(
+            1024, 26, 4096, batch_size=1024
+        ).time
+        t_single = model.distance_search(
+            1024, 26, 4096, batch_size=1
+        ).time
+        assert t_batched < t_single
+
+    def test_kernel_count(self):
+        est = GPUCostModel().distance_search(
+            1000, 26, 4096, batch_size=256
+        )
+        assert est.kernels == 4
+
+    def test_validation(self):
+        model = GPUCostModel()
+        with pytest.raises(ValueError):
+            model.distance_search(0, 26, 4096)
+        with pytest.raises(ValueError):
+            model.distance_search(10, 26, 4096, batch_size=0)
+
+
+class TestHDCInference:
+    def test_includes_encoding_cost(self):
+        model = GPUCostModel()
+        full = model.hdc_inference(100, 26, 4096, 617)
+        search_only = model.distance_search(100, 26, 4096)
+        assert full.time > search_only.time
+        assert full.energy > search_only.energy

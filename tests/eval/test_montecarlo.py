@@ -1,0 +1,103 @@
+"""Monte Carlo harness: probes, reproducibility, Fig. 7 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import get_metric
+from repro.eval.montecarlo import (
+    MonteCarloKNNAccuracy,
+    MonteCarloSearch,
+    build_distance_probe,
+)
+
+
+HAMMING = get_metric("hamming")
+
+
+class TestProbe:
+    def test_distances_exact(self, rng):
+        query, stored = build_distance_probe(
+            dims=32, bits=2, d_near=5, d_far=6, n_far=10, rng=rng
+        )
+        d = HAMMING.pairwise(
+            query.reshape(1, -1), stored, 2
+        )[0]
+        assert d[0] == 5
+        assert np.all(d[1:] == 6)
+
+    def test_probe_shapes(self, rng):
+        query, stored = build_distance_probe(32, 2, 3, 4, 7, rng)
+        assert query.shape == (32,)
+        assert stored.shape == (8, 32)
+
+    def test_values_in_alphabet(self, rng):
+        query, stored = build_distance_probe(16, 2, 2, 3, 5, rng)
+        assert query.min() >= 0 and query.max() < 4
+        assert stored.min() >= 0 and stored.max() < 4
+
+    def test_excessive_distance_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_distance_probe(4, 1, 5, 6, 3, rng)
+
+
+class TestMonteCarloSearch:
+    def test_reproducible(self):
+        mc = MonteCarloSearch(dims=32, bits=2, n_far=5, n_runs=10, seed0=3)
+        a = mc.run_pair(2, 3)
+        b = mc.run_pair(2, 3)
+        assert a.successes == b.successes
+        assert a.margins == b.margins
+
+    def test_easy_case_is_perfect(self):
+        """Distance 1 vs distance 4: margin of 3 units dwarfs variation."""
+        mc = MonteCarloSearch(dims=32, bits=2, n_far=5, n_runs=20, seed0=3)
+        assert mc.run_pair(1, 4).accuracy == 1.0
+
+    def test_accuracy_degrades_with_distance(self):
+        """The Fig. 7 trend: larger absolute distances mean relatively
+        noisier readings, so the worst case is the largest pair."""
+        mc = MonteCarloSearch(
+            dims=64, bits=2, n_far=15, n_runs=40, seed0=7
+        )
+        easy = mc.run_pair(1, 2).accuracy
+        hard = mc.run_pair(5, 6).accuracy
+        assert easy >= hard
+
+    def test_sweep_returns_all_pairs(self):
+        mc = MonteCarloSearch(dims=16, bits=2, n_far=3, n_runs=5, seed0=1)
+        results = mc.sweep([(1, 2), (2, 3)])
+        assert [(r.d_near, r.d_far) for r in results] == [(1, 2), (2, 3)]
+
+    def test_invalid_pair_rejected(self):
+        mc = MonteCarloSearch(n_runs=2)
+        with pytest.raises(ValueError):
+            mc.run_pair(4, 4)
+
+    def test_margins_recorded(self):
+        mc = MonteCarloSearch(dims=16, bits=2, n_far=3, n_runs=5, seed0=1)
+        result = mc.run_pair(1, 3)
+        assert len(result.margins) == 5
+        assert all(m >= 0 for m in result.margins)
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloSearch(n_runs=0)
+
+
+class TestKNNAccuracyComparison:
+    def test_degradation_small(self, rng):
+        """Paper: 0.6 % end-to-end degradation.  At toy scale we allow a
+        few points but the hardware must stay close to software."""
+        lo = rng.integers(0, 2, size=(15, 12))
+        hi = rng.integers(2, 4, size=(15, 12))
+        train_x = np.vstack([lo, hi])
+        train_y = np.array([0] * 15 + [1] * 15)
+        test_lo = rng.integers(0, 2, size=(8, 12))
+        test_hi = rng.integers(2, 4, size=(8, 12))
+        test_x = np.vstack([test_lo, test_hi])
+        test_y = np.array([0] * 8 + [1] * 8)
+
+        mc = MonteCarloKNNAccuracy(metric="hamming", bits=2, seed=11)
+        result = mc.compare(train_x, train_y, test_x, test_y)
+        assert result.software_accuracy >= 0.9
+        assert abs(result.degradation) <= 0.15

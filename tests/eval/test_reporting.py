@@ -1,0 +1,64 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.eval.reporting import engineering, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "bb" in lines[-1]
+
+    def test_alignment(self):
+        text = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches rows
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123456]])
+        assert "0.0001235" in text
+
+
+class TestFormatSeries:
+    def test_single_series(self):
+        text = format_series("rows", "energy", [[8, 1.0], [16, 0.5]])
+        assert "rows" in text
+        assert "energy" in text
+
+    def test_multi_series_names(self):
+        text = format_series(
+            "x", "y", [[1, 2.0, 3.0]], series_names=["a", "b"]
+        )
+        assert "a" in text and "b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", "y", [])
+
+    def test_missing_y_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", "y", [[1]])
+
+
+class TestEngineering:
+    def test_prefixes(self):
+        assert engineering(1.3e-12, "J") == "1.3 pJ"
+        assert engineering(2.5e-9, "s") == "2.5 ns"
+        assert engineering(4.2e6, "Hz") == "4.2 MHz"
+        assert engineering(0.25, "V") == "250 mV"
+
+    def test_zero(self):
+        assert engineering(0.0, "J") == "0 J"
+
+    def test_tiny_values_clamped_to_atto(self):
+        assert "aJ" in engineering(1e-19, "J")

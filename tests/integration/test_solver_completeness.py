@@ -1,0 +1,83 @@
+"""Solver completeness on randomly generated *realisable* instances.
+
+A FeReX cell computes sums of "atoms": per-FeFET contributions
+``m(sch) * [t in T_sch]`` whose row ON-sets form a chain.  Any DM built
+by summing K random atoms is feasible with K FeFETs *by construction* —
+so Algorithm 1 must (a) declare it feasible at that K and (b) return a
+verifying solution.  This probes the solver's completeness on a far
+wider instance family than the three paper metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dm import DistanceMatrix
+from repro.core.encoding import encode_cell, verify_encoding
+from repro.core.feasibility import check_feasibility
+
+
+def random_atom(n_values, max_mult, rng):
+    """One chain-structured FeFET contribution matrix (n x n)."""
+    # A chain of nested stored-value sets: random permutation prefix.
+    order = rng.permutation(n_values)
+    # Each search row picks a prefix length (possibly 0) of the chain --
+    # prefixes of a fixed permutation are automatically nested.
+    contribution = np.zeros((n_values, n_values), dtype=np.int64)
+    for s in range(n_values):
+        prefix = int(rng.integers(0, n_values + 1))
+        magnitude = int(rng.integers(1, max_mult + 1))
+        for t in order[:prefix]:
+            contribution[s, t] = magnitude
+    return contribution
+
+
+@st.composite
+def realisable_instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n_values = draw(st.sampled_from([2, 3, 4]))
+    k = draw(st.integers(min_value=1, max_value=3))
+    max_mult = draw(st.integers(min_value=1, max_value=3))
+    rng = np.random.default_rng(seed)
+    dm_values = sum(
+        random_atom(n_values, max_mult, rng) for _ in range(k)
+    )
+    return dm_values, k, max_mult
+
+
+class TestSolverCompleteness:
+    @given(instance=realisable_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_realisable_instances_found_feasible(self, instance):
+        dm_values, k, max_mult = instance
+        dm = DistanceMatrix.from_table(dm_values)
+        result = check_feasibility(
+            dm, k, tuple(range(1, max_mult + 1))
+        )
+        assert result.feasible, (dm_values, k, max_mult)
+        assert result.solution.verify(dm)
+
+    @given(instance=realisable_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_solutions_encode_and_round_trip(self, instance):
+        dm_values, k, max_mult = instance
+        dm = DistanceMatrix.from_table(dm_values)
+        result = check_feasibility(
+            dm, k, tuple(range(1, max_mult + 1))
+        )
+        enc = encode_cell(result.solution)
+        assert verify_encoding(enc, dm)
+
+    def test_soundness_on_unrealisable_instance(self):
+        """A DM whose row needs two distinct non-zero currents from one
+        FeFET is infeasible at K=1 — the solver must say so."""
+        dm = DistanceMatrix.from_table([[1, 2], [0, 0]])
+        assert not check_feasibility(dm, 1, (1, 2)).feasible
+
+    def test_soundness_on_chain_violation(self):
+        """Crossing ON-sets cannot be realised by one FeFET even though
+        each row alone is fine (paper Fig. 4(e))."""
+        dm = DistanceMatrix.from_table([[1, 0], [0, 1]])
+        assert not check_feasibility(dm, 1, (1,)).feasible
+        # ...but two FeFETs solve it trivially.
+        assert check_feasibility(dm, 2, (1,)).feasible

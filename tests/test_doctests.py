@@ -1,0 +1,33 @@
+"""Execute the usage examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.dm
+import repro.core.engine
+from repro.core.decompose import decompose
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.dm, repro.core.engine],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0
+
+
+def test_decompose_doctest():
+    """doctest.testmod trips over the lru_cache wrapper in the module
+    namespace, so the decompose example is checked directly."""
+    assert decompose(2, 3, (1, 2)) == [
+        (0, 0, 2),
+        (0, 1, 1),
+        (0, 2, 0),
+        (1, 0, 1),
+        (1, 1, 0),
+        (2, 0, 0),
+    ]

@@ -1,0 +1,66 @@
+"""Report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.report import ARTIFACT_ORDER, assemble, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table2_encoding.txt").write_text("TABLE2 CONTENT\n")
+    (d / "fig7_montecarlo.txt").write_text("FIG7 CONTENT\n")
+    (d / "custom_extra.txt").write_text("EXTRA CONTENT\n")
+    return d
+
+
+class TestAssemble:
+    def test_orders_known_artifacts(self, results_dir):
+        report = assemble(results_dir)
+        assert report.index("TABLE2 CONTENT") < report.index(
+            "FIG7 CONTENT"
+        )
+
+    def test_includes_unknown_artifacts(self, results_dir):
+        assert "EXTRA CONTENT" in assemble(results_dir)
+
+    def test_lists_missing(self, results_dir):
+        report = assemble(results_dir)
+        assert "missing artifacts" in report
+        assert "fig1_iv" in report
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            assemble(tmp_path / "nope")
+
+
+class TestMain:
+    def test_writes_output_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main([str(results_dir), str(out)]) == 0
+        assert "TABLE2 CONTENT" in out.read_text()
+
+    def test_prints_without_output_file(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "FIG7 CONTENT" in capsys.readouterr().out
+
+
+class TestOrderCoversBenches:
+    def test_every_bench_artifact_listed(self):
+        """Each save_artifact name used by the bench suite must appear in
+        the report ordering (keeps the report complete as benches are
+        added)."""
+        import re
+
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        names = set()
+        for path in bench_dir.glob("bench_*.py"):
+            names.update(
+                re.findall(r'save_artifact\(\s*"([^"]+)"', path.read_text())
+            )
+        assert names <= set(ARTIFACT_ORDER), (
+            names - set(ARTIFACT_ORDER)
+        )
