@@ -1,0 +1,114 @@
+"""Batch-search throughput: serial vs vectorised pipeline.
+
+The ROADMAP north-star demands the hot path (thousands of queries per
+programmed array — Fig. 7 Monte Carlo, Fig. 8 HDC inference) run as fast
+as the hardware allows.  This bench records queries/sec of the looped
+serial ``FeReX.search`` path against the blocked ``search_batch`` path
+across array sizes, and persists the numbers both as a table and as
+``results/BENCH_batch_throughput.json`` so future PRs can detect
+batch-path regressions in the bench trajectory.
+
+Headline assertion: >= 10x batch-over-serial speedup on the 1k-query
+HDC-style inference workload (26 classes x 1024-d hypervectors).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.engine import FeReX
+from repro.eval.reporting import format_table
+
+from conftest import save_artifact, save_json_artifact
+
+
+#: (name, rows, dims, bits, n_queries) — hdc_1k is the headline workload.
+WORKLOADS = (
+    ("knn_16x64", 16, 64, 2, 256),
+    ("knn_128x64", 128, 64, 2, 256),
+    ("hdc_1k", 26, 1024, 1, 1000),
+)
+#: Serial queries timed per workload (extrapolated to the batch size).
+SERIAL_SAMPLE = 64
+HEADLINE = "hdc_1k"
+HEADLINE_MIN_SPEEDUP = 10.0
+
+
+def _build_engine(rows: int, dims: int, bits: int) -> FeReX:
+    engine = FeReX(metric="hamming", bits=bits, dims=dims)
+    rng = np.random.default_rng(17)
+    engine.program(rng.integers(0, 1 << bits, size=(rows, dims)))
+    return engine
+
+
+def _measure(engine: FeReX, queries: np.ndarray) -> dict:
+    n = len(queries)
+    n_serial = min(SERIAL_SAMPLE, n)
+
+    # Warm both paths once so allocator/JIT-free numpy caches settle.
+    engine.search(queries[0])
+    engine.search_batch(queries[:2])
+
+    t0 = time.perf_counter()
+    serial_winners = [engine.search(q).winner for q in queries[:n_serial]]
+    serial_time = (time.perf_counter() - t0) / n_serial
+
+    t0 = time.perf_counter()
+    batch = engine.search_batch(queries)
+    batch_time = (time.perf_counter() - t0) / n
+
+    assert batch.winners[:n_serial].tolist() == serial_winners
+    return {
+        "n_queries": n,
+        "n_serial_timed": n_serial,
+        "serial_qps": 1.0 / serial_time,
+        "batch_qps": 1.0 / batch_time,
+        "speedup": serial_time / batch_time,
+    }
+
+
+def test_batch_throughput(benchmark):
+    results = {}
+    for name, rows, dims, bits, n_queries in WORKLOADS:
+        engine = _build_engine(rows, dims, bits)
+        rng = np.random.default_rng(23)
+        queries = rng.integers(0, 1 << bits, size=(n_queries, dims))
+        if name == HEADLINE:
+            # The headline workload goes through the pytest-benchmark
+            # harness so its timing lands in the bench trajectory too.
+            stats = benchmark.pedantic(
+                _measure, args=(engine, queries), rounds=1, iterations=1
+            )
+        else:
+            stats = _measure(engine, queries)
+        results[name] = {
+            "rows": rows,
+            "dims": dims,
+            "bits": bits,
+            **stats,
+        }
+
+    rows_out = [
+        [
+            name,
+            f"{r['rows']}x{r['dims']}",
+            f"{r['n_queries']}",
+            f"{r['serial_qps']:.0f}",
+            f"{r['batch_qps']:.0f}",
+            f"{r['speedup']:.1f}x",
+        ]
+        for name, r in results.items()
+    ]
+    text = format_table(
+        ["Workload", "Array", "Queries", "Serial q/s", "Batch q/s", "Speedup"],
+        rows_out,
+        title="Batch search throughput: serial vs vectorised pipeline",
+    )
+    save_artifact("batch_throughput", text)
+    save_json_artifact("BENCH_batch_throughput", {"workloads": results})
+
+    headline = results[HEADLINE]["speedup"]
+    assert headline >= HEADLINE_MIN_SPEEDUP, (
+        f"batch path only {headline:.1f}x faster than serial on "
+        f"{HEADLINE}; regression below the {HEADLINE_MIN_SPEEDUP:.0f}x floor"
+    )

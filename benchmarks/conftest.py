@@ -9,6 +9,7 @@ workloads (Table III split sizes, 100-run Monte Carlo, 4k hypervectors).
 The default "ci" scale finishes the whole suite in a few minutes.
 """
 
+import json
 import os
 import pathlib
 
@@ -23,6 +24,19 @@ def save_artifact(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+
+
+def save_json_artifact(name: str, payload: dict) -> None:
+    """Persist a machine-readable artifact under ``results/<name>.json``.
+
+    Benches that track a trajectory (e.g. ``BENCH_batch_throughput``)
+    emit JSON next to the human-readable table so future PRs can diff
+    the numbers and detect regressions programmatically.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== {name} ===\n{json.dumps(payload, indent=2, sort_keys=True)}\n")
 
 
 @pytest.fixture(scope="session")

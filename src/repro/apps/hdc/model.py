@@ -99,6 +99,10 @@ class HDCClassifier:
         self._accumulators: Optional[np.ndarray] = None
         self._prototypes: Optional[np.ndarray] = None
         self._engine: Optional[FeReX] = None
+        #: Mean query-hypervector norm, set by fit(); prototypes are
+        #: rescaled to it so stored and searched vectors share one
+        #: integer grid.
+        self._query_norm: Optional[float] = None
         self.train_stats = HDCTrainStats()
 
     @property
@@ -137,9 +141,8 @@ class HDCClassifier:
         # Iterative refinement on quantised-model mistakes.
         self.train_stats = HDCTrainStats()
         self.quantizer.fit(h)
-        #: Mean query-hypervector norm: prototypes are rescaled to this
-        #: norm so that stored and searched vectors share one integer
-        #: grid (class accumulators grow with class size otherwise).
+        # Class accumulators grow with class size, so prototypes are
+        # rescaled to the mean query norm before quantisation.
         self._query_norm = float(
             np.linalg.norm(h, axis=1).mean()
         )
@@ -174,6 +177,10 @@ class HDCClassifier:
         identical integer grid for absolute-agreement metrics (Hamming,
         Manhattan) to work.
         """
+        if self._query_norm is None:
+            raise RuntimeError(
+                "fit() must be called before prototypes can be quantised"
+            )
         norms = np.linalg.norm(acc, axis=1, keepdims=True)
         norms = np.where(norms < 1e-12, 1.0, norms)
         scaled = acc / norms * self._query_norm
@@ -199,6 +206,12 @@ class HDCClassifier:
         return self.quantizer.transform(h)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class per sample.
+
+        The ferex backend pushes the whole query batch through
+        :meth:`FeReX.search_batch` — one blocked array evaluation plus
+        one vectorised LTA pass, bit-identical to per-query searches.
+        """
         queries = self.encode_queries(x)
         if self.backend == "software":
             distances = self.metric.pairwise(

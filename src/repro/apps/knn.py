@@ -15,6 +15,11 @@ Two backends share one interface:
   larger than ``max_rows`` are split across array banks; bank winners are
   merged by their measured analog distances, exactly how a multi-bank
   FeReX deployment would compose.
+
+Both backends are batched: :meth:`KNNClassifier.predict` classifies the
+whole query set with one ``pairwise`` call (software) or one per-bank
+:meth:`repro.core.FeReX.search_k_batch` call plus a vectorised bank
+merge (ferex), rather than looping queries through Python.
 """
 
 from __future__ import annotations
@@ -123,66 +128,92 @@ class KNNClassifier:
         return len(self._banks)
 
     # ------------------------------------------------------------------
-    def _neighbors_software(
-        self, query: np.ndarray
+    def _neighbors_software_batch(
+        self, queries: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """(n, k') neighbor indices and distances, one pairwise call."""
         distances = self.metric.pairwise(
-            query.reshape(1, -1), self._train_x, self.bits
-        )[0]
-        order = np.argsort(distances, kind="stable")[: self.k]
-        return order, distances[order].astype(float)
+            queries, self._train_x, self.bits
+        ).astype(float)
+        k_eff = min(self.k, distances.shape[1])
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k_eff]
+        return order, np.take_along_axis(distances, order, axis=1)
 
-    def _neighbors_ferex(
-        self, query: np.ndarray
+    def _neighbors_ferex_batch(
+        self, queries: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        # Gather k candidates per bank, then merge on analog readings.
-        candidates: List[Tuple[float, int]] = []
+        """Per-bank batched ``search_k`` + vectorised bank merge.
+
+        Each bank contributes its ``min(k, rows)`` nearest rows per
+        query; candidates merge on (analog distance, global row index) —
+        exactly how a multi-bank FeReX deployment composes its LTA
+        outputs, and the same ordering the serial per-query merge used.
+        """
+        bank_idx: List[np.ndarray] = []
+        bank_dist: List[np.ndarray] = []
         for engine, offset in zip(self._banks, self._bank_offsets):
             k_eff = min(self.k, engine.array.rows)
-            for result in engine.search_k(query, k_eff):
-                candidates.append(
-                    (
-                        float(result.hardware_distances[result.winner]),
-                        offset + result.winner,
-                    )
-                )
-        candidates.sort()
-        top = candidates[: self.k]
-        idx = np.array([i for _, i in top], dtype=int)
-        dist = np.array([d for d, _ in top], dtype=float)
-        return idx, dist
+            result = engine.search_k_batch(queries, k_eff)
+            bank_idx.append(offset + result.winners)
+            bank_dist.append(
+                np.take_along_axis(result.row_units, result.winners, axis=1)
+            )
+        idx = np.concatenate(bank_idx, axis=1)
+        dist = np.concatenate(bank_dist, axis=1)
+        # Per-query merge sorted by (distance, global index) — lexsort's
+        # last key is primary.
+        order = np.lexsort((idx, dist))[:, : self.k]
+        return (
+            np.take_along_axis(idx, order, axis=1),
+            np.take_along_axis(dist, order, axis=1),
+        )
 
-    def predict_one(self, query: Sequence[int]) -> KNNPrediction:
-        """Classify a single query vector."""
-        if self._train_x is None or self._train_y is None:
-            raise RuntimeError("fit() must be called before predict")
-        query = np.asarray(query, dtype=int)
+    def _neighbors_batch(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         if self.backend == "software":
-            idx, dist = self._neighbors_software(query)
-        else:
-            idx, dist = self._neighbors_ferex(query)
+            return self._neighbors_software_batch(queries)
+        return self._neighbors_ferex_batch(queries)
+
+    def _vote(self, idx: np.ndarray) -> int:
         votes = Counter(int(self._train_y[i]) for i in idx)
         # Majority vote; ties break toward the closest neighbor's label.
         best_count = max(votes.values())
         tied = {label for label, c in votes.items() if c == best_count}
-        label = next(
+        return next(
             int(self._train_y[i]) for i in idx
             if int(self._train_y[i]) in tied
         )
+
+    def predict_one(self, query: Sequence[int]) -> KNNPrediction:
+        """Classify a single query vector (one-row batch)."""
+        if self._train_x is None or self._train_y is None:
+            raise RuntimeError("fit() must be called before predict")
+        query = np.asarray(query, dtype=int)
+        idx, dist = self._neighbors_batch(query.reshape(1, -1))
         return KNNPrediction(
-            label=label,
-            neighbor_indices=tuple(int(i) for i in idx),
-            neighbor_distances=tuple(float(d) for d in dist),
+            label=self._vote(idx[0]),
+            neighbor_indices=tuple(int(i) for i in idx[0]),
+            neighbor_distances=tuple(float(d) for d in dist[0]),
         )
 
     def predict(self, queries: np.ndarray) -> np.ndarray:
-        """Classify a batch of query vectors."""
+        """Classify a batch of query vectors.
+
+        The whole batch flows through one ``pairwise`` call (software
+        backend) or one per-bank :meth:`FeReX.search_k_batch` call plus
+        a vectorised bank merge (ferex backend); only the majority vote
+        loops per query.
+        """
+        if self._train_x is None or self._train_y is None:
+            raise RuntimeError("fit() must be called before predict")
         queries = np.asarray(queries, dtype=int)
         if queries.ndim != 2:
             raise ValueError("queries must be (n, dims)")
-        return np.array(
-            [self.predict_one(q).label for q in queries], dtype=int
-        )
+        if len(queries) == 0:
+            return np.empty(0, dtype=int)
+        idx, _ = self._neighbors_batch(queries)
+        return np.array([self._vote(row) for row in idx], dtype=int)
 
     def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on a labelled set."""

@@ -6,7 +6,12 @@ macro models used for Fig. 6.
 """
 
 from .area import AreaBreakdown, AreaModel
-from .crossbar import BatchSearchResult, FeReXArray, SearchResult
+from .crossbar import (
+    BatchSearchKResult,
+    BatchSearchResult,
+    FeReXArray,
+    SearchResult,
+)
 from .energy import EnergyBreakdown, EnergyModel
 from .parasitics import ArrayParasitics, LineParasitics, extract
 from .timing import SearchTiming, TimingModel
@@ -15,6 +20,7 @@ __all__ = [
     "AreaBreakdown",
     "AreaModel",
     "ArrayParasitics",
+    "BatchSearchKResult",
     "BatchSearchResult",
     "EnergyBreakdown",
     "EnergyModel",

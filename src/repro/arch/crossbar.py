@@ -19,6 +19,23 @@ evaluates search currents vectorised over the whole array:
 The electrical model matches :mod:`repro.devices.cell` (the fast path)
 but evaluates in numpy across the array, which is what makes Monte Carlo
 over 100 array instances x thousands of queries tractable.
+
+Batch pipeline
+--------------
+Three search entry points share one evaluation/decision stack so their
+results are bit-identical by construction:
+
+* :meth:`FeReXArray.search` — one query; currents through the blocked
+  3-D kernel (:meth:`FeReXArray.cell_currents_block` on a one-query
+  block), winner through :meth:`LoserTakeAll.decide` (which delegates
+  to the vectorised ``decide_batch``).
+* :meth:`FeReXArray.search_batch` / :meth:`FeReXArray.search_k_batch` —
+  arbitrary bias matrices, evaluated in ``(chunk, rows, cols)`` blocks.
+* :meth:`FeReXArray.search_batch_values` /
+  :meth:`FeReXArray.search_k_batch_values` — the associative-memory
+  fast path: per-cell currents for the small bias alphabet are
+  precomputed once (cached until the next write) and each query block
+  is assembled by value-select, an order of magnitude faster again.
 """
 
 from __future__ import annotations
@@ -88,6 +105,33 @@ class BatchSearchResult:
         return self.n_queries * self.energy_per_query.total
 
 
+@dataclass
+class BatchSearchKResult:
+    """Vectorised outcome of an iterative top-k search over a batch.
+
+    Per query, ``winners`` holds the ``k`` LTA winners in decision order
+    (nearest first), matching the list :meth:`FeReXArray.search_k`
+    returns for the same query.
+    """
+
+    #: (n_queries, k) LTA winners per query, nearest first.
+    winners: np.ndarray
+    #: (n_queries, rows) distance readings in unit currents.
+    row_units: np.ndarray
+    #: Latency of each underlying search (identical across the batch).
+    timing_per_query: SearchTiming
+    #: Energy of each underlying search (nominal-activity estimate).
+    energy_per_query: EnergyBreakdown
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.winners)
+
+    @property
+    def k(self) -> int:
+        return self.winners.shape[1]
+
+
 class FeReXArray:
     """A rows x physical_cols 1FeFET1R crossbar with LTA read-out.
 
@@ -115,11 +159,23 @@ class FeReXArray:
         physical_cols: int,
         tech: Optional[TechConfig] = None,
         variation: Optional[ArrayVariation] = None,
+        cell_fanout: int = 1,
     ):
         if rows < 1 or physical_cols < 1:
             raise ValueError("array needs at least one row and one column")
+        if cell_fanout < 1 or physical_cols % cell_fanout:
+            raise ValueError(
+                f"cell_fanout {cell_fanout} must divide "
+                f"physical_cols {physical_cols}"
+            )
         self.rows = rows
         self.physical_cols = physical_cols
+        #: FeFET columns per encoded element (the mapping layer's K).
+        #: Row currents aggregate per-cell partial sums first, which the
+        #: bias-alphabet fast path exploits with a per-cell table.
+        self.cell_fanout = cell_fanout
+        #: Encoded elements per row.
+        self.cells = physical_cols // cell_fanout
         self.tech = tech or DEFAULT_TECH
         if variation is None:
             variation = nominal_variation(rows, physical_cols)
@@ -163,6 +219,9 @@ class FeReXArray:
         self.write_energy_total = 0.0
         #: Count of disturb-unsafe exposures observed (should stay 0).
         self.disturb_violations = 0
+        #: Bumped on every write so cached search tables invalidate.
+        self.write_generation = 0
+        self._bias_table_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Observable device state
@@ -187,6 +246,7 @@ class FeReXArray:
     def erase_row(self, row: int) -> None:
         """Block-erase one row to the highest threshold state."""
         self._check_row(row)
+        self.write_generation += 1
         fefet = self.tech.fefet
         self._vth_nominal[row, :] = fefet.vth_low + fefet.memory_window
         self.levels[row, :] = -1
@@ -212,6 +272,7 @@ class FeReXArray:
             raise ValueError("level outside the device MLC range")
 
         self.erase_row(row)
+        self.write_generation += 1
         nominal = np.array([fefet.vth_level(l) for l in levels])
         self._vth_nominal[row, :] = nominal
         self.levels[row, :] = levels
@@ -219,20 +280,64 @@ class FeReXArray:
         self._apply_disturb(row)
 
     def program_matrix(self, levels: np.ndarray) -> None:
-        """Program every row of the array from a (rows, cols) level matrix."""
+        """Program every row of the array from a (rows, cols) level matrix.
+
+        Fast path equivalent to looping :meth:`program_row` over every
+        row, but O(rows): thresholds are written through one vectorised
+        level-to-Vth lookup and the erase/program energy plus half-select
+        disturb exposure are accounted in a single closed-form pass
+        instead of the per-written-row loop (which re-touches every
+        *other* row per write, O(rows^2) work in total).  Unlike the
+        loop, validation happens up front, so an invalid level matrix
+        leaves the array untouched.
+        """
         levels = np.asarray(levels, dtype=int)
         if levels.shape != (self.rows, self.physical_cols):
             raise ValueError(
                 f"expected shape ({self.rows}, {self.physical_cols}), "
                 f"got {levels.shape}"
             )
-        for row in range(self.rows):
-            self.program_row(row, levels[row])
+        fefet = self.tech.fefet
+        if levels.min() < 0 or levels.max() >= fefet.n_vth_levels:
+            raise ValueError("level outside the device MLC range")
 
-    def _account_write(self, n_cells: int) -> None:
-        self.write_energy_total += self.energy_model.write_energy(
-            n_cells
-        ).total
+        self.write_generation += 1
+        vth_lut = np.array(
+            [fefet.vth_level(l) for l in range(fefet.n_vth_levels)]
+        )
+        self._vth_nominal = vth_lut[levels]
+        self.levels = levels.copy()
+        # Each row costs one erase pulse + one program pulse over all of
+        # its cells, exactly as in program_row.
+        self._account_write(self.physical_cols, n_pulses=2 * self.rows)
+        self._apply_disturb_all_rows(pulses_per_row=2)
+
+    def _apply_disturb_all_rows(self, pulses_per_row: int) -> None:
+        """Closed-form disturb accounting for a whole-array write.
+
+        Writing every row with ``pulses_per_row`` pulses exposes each
+        cell to ``pulses_per_row * (rows - 1)`` half-select events (one
+        per pulse on every *other* row) — the same exposure the per-row
+        :meth:`_apply_disturb` loop accumulates, summed analytically.
+        """
+        fefet = self.tech.fefet
+        half = 0.5 * self.tech.driver.write_voltage
+        safe = self.DISTURB_SAFE_FRACTION * fefet.coercive_voltage
+        overdrive = half - safe
+        if overdrive <= 0:
+            return
+        n_events = pulses_per_row * (self.rows - 1)
+        self._disturb_drift -= (
+            self.DISTURB_DRIFT_PER_VOLT * overdrive * n_events
+        )
+        self.disturb_violations += (
+            pulses_per_row * self.rows * (self.rows - 1) * self.physical_cols
+        )
+
+    def _account_write(self, n_cells: int, n_pulses: int = 1) -> None:
+        self.write_energy_total += (
+            n_pulses * self.energy_model.write_energy(n_cells).total
+        )
 
     def _apply_disturb(self, written_row: int) -> None:
         """Model half-select stress on every *other* row.
@@ -271,7 +376,9 @@ class FeReXArray:
 
         Vectorised fast-path model: ON cells are clamped to ``Vds / R``
         (the series resistor dominates); OFF cells leak the subthreshold
-        current capped by the clamp.
+        current capped by the clamp.  One-query view of
+        :meth:`cell_currents_block`, which is the shared evaluation
+        kernel of :meth:`search` and :meth:`search_batch`.
         """
         sl = np.asarray(sl_voltages, dtype=float)
         dl = np.asarray(dl_multiples, dtype=int)
@@ -283,16 +390,41 @@ class FeReXArray:
             raise ValueError(
                 f"expected {self.physical_cols} DL levels, got {dl.shape}"
             )
+        return self.cell_currents_block(sl[None, :], dl[None, :])[0]
+
+    def cell_currents_block(
+        self,
+        sl_block: np.ndarray,
+        dl_block: np.ndarray,
+    ) -> np.ndarray:
+        """(n_queries, rows, cols) per-cell currents for a query block.
+
+        The 3-D evaluation kernel behind both the serial and the batch
+        search paths: the device physics broadcasts over a leading query
+        axis, so a block of queries costs one numpy pass instead of a
+        Python loop.  Per-element arithmetic is identical to the
+        one-query case, which keeps serial and batch results
+        bit-identical.
+        """
+        sl = np.asarray(sl_block, dtype=float)
+        dl = np.asarray(dl_block, dtype=int)
+        if sl.ndim != 2 or sl.shape[1] != self.physical_cols:
+            raise ValueError(
+                f"expected (n, {self.physical_cols}) SL block, got "
+                f"{sl.shape}"
+            )
+        if dl.shape != sl.shape:
+            raise ValueError("SL and DL blocks must have equal shapes")
         cell = self.tech.cell
-        if dl.min() < 0 or dl.max() > cell.max_vds_multiple:
+        if dl.size and (dl.min() < 0 or dl.max() > cell.max_vds_multiple):
             raise ValueError("DL multiple outside the selector's range")
 
         fefet = self.tech.fefet
-        vds = dl * cell.vds_unit  # (cols,)
+        vds = dl * cell.vds_unit  # (n, cols)
         vth = self.vth  # (rows, cols)
-        clamp = vds[None, :] / self._resistance  # (rows, cols)
+        clamp = vds[:, None, :] / self._resistance[None, :, :]
 
-        overdrive = sl[None, :] - vth
+        overdrive = sl[:, None, :] - vth[None, :, :]
         on = overdrive > 0
 
         exponent = np.clip(
@@ -307,8 +439,34 @@ class FeReXArray:
 
         on_current = np.minimum(clamp, fefet.i_sat_max)
         currents = np.where(on, on_current, off_current)
-        currents[:, vds == 0.0] = 0.0
+        currents[np.broadcast_to((vds == 0.0)[:, None, :], currents.shape)] = 0.0
         return currents
+
+    def _cell_sums(self, currents: np.ndarray) -> np.ndarray:
+        """(n, rows, cells) per-cell partial sums of (n, rows, cols)
+        currents: each encoded element's ``cell_fanout`` FeFET columns
+        aggregate first.  Both the serial and every batch path reduce
+        through this same two-stage tree, which keeps them bit-identical
+        and lets the bias-alphabet fast path precompute per-cell sums.
+        """
+        if self.cell_fanout == 1:
+            return currents
+        n = currents.shape[0]
+        return currents.reshape(
+            n, self.rows, self.cells, self.cell_fanout
+        ).sum(axis=3)
+
+    def _row_currents_block(
+        self, sl_block: np.ndarray, dl_block: np.ndarray
+    ) -> np.ndarray:
+        """(n_queries, rows) aggregated, gain-scaled ScL currents."""
+        currents = self.cell_currents_block(sl_block, dl_block)
+        # Per-row sensing gain: residual ScL clamp error scales every
+        # cell's Vds in a row, hence the whole row reading.
+        return (
+            self._cell_sums(currents).sum(axis=2)
+            * self.variation.row_gain[None, :]
+        )
 
     def search(
         self,
@@ -322,10 +480,17 @@ class FeReXArray:
         by iterative top-k search); masked rows still conduct but their
         LTA branch is disabled.
         """
-        currents = self.cell_currents(sl_voltages, dl_multiples)
-        # Per-row sensing gain: residual ScL clamp error scales every
-        # cell's Vds in a row, hence the whole row reading.
-        row_currents = currents.sum(axis=1) * self.variation.row_gain
+        sl = np.asarray(sl_voltages, dtype=float)
+        dl = np.asarray(dl_multiples, dtype=int)
+        if sl.shape != (self.physical_cols,):
+            raise ValueError(
+                f"expected {self.physical_cols} SL voltages, got {sl.shape}"
+            )
+        if dl.shape != (self.physical_cols,):
+            raise ValueError(
+                f"expected {self.physical_cols} DL levels, got {dl.shape}"
+            )
+        row_currents = self._row_currents_block(sl[None, :], dl[None, :])[0]
 
         compete = row_currents.copy()
         if active_rows is not None:
@@ -336,9 +501,7 @@ class FeReXArray:
 
         decision = self._lta.decide(compete)
         timing = self.timing_model.search_timing(decision.margin)
-        energy = self.energy_model.search_energy(
-            row_currents, np.asarray(dl_multiples, dtype=int), timing
-        )
+        energy = self.energy_model.search_energy(row_currents, dl, timing)
         energy.add("lta", 0.0)  # ensure key exists even for 1-row arrays
         row_units = row_currents / self.tech.cell.unit_current
         return SearchResult(
@@ -349,29 +512,9 @@ class FeReXArray:
             energy=energy,
         )
 
-    def search_batch(
-        self,
-        sl_matrix: np.ndarray,
-        dl_matrix: np.ndarray,
-        chunk: int = 64,
-    ) -> "BatchSearchResult":
-        """Vectorised search over a batch of queries.
-
-        Electrically equivalent to calling :meth:`search` per query (the
-        array is time-multiplexed; nothing is shared between queries) but
-        evaluated in blocked numpy, which is what makes simulating
-        thousands of HDC inferences tractable.  Per-query timing/energy
-        are identical across the batch at the nominal margin, so the
-        models are evaluated once.
-
-        Parameters
-        ----------
-        sl_matrix / dl_matrix:
-            (n_queries, physical_cols) search voltages and drain levels.
-        chunk:
-            Queries per numpy block (bounds peak memory at
-            ``chunk * rows * cols`` floats).
-        """
+    def _validate_batch_bias(
+        self, sl_matrix: np.ndarray, dl_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         sl_matrix = np.asarray(sl_matrix, dtype=float)
         dl_matrix = np.asarray(dl_matrix, dtype=int)
         if sl_matrix.ndim != 2 or sl_matrix.shape[1] != self.physical_cols:
@@ -381,37 +524,262 @@ class FeReXArray:
             )
         if dl_matrix.shape != sl_matrix.shape:
             raise ValueError("SL and DL matrices must have equal shapes")
+        return sl_matrix, dl_matrix
 
+    def _resolve_chunk(self, chunk: Optional[int]) -> int:
+        """Queries per numpy block; ``None`` auto-sizes to keep the
+        working tensor cache-resident (~2^18 cells per block)."""
+        if chunk is None:
+            chunk = (1 << 18) // max(1, self.rows * self.physical_cols)
+        return max(1, chunk)
+
+    def _batch_row_currents(
+        self,
+        sl_matrix: np.ndarray,
+        dl_matrix: np.ndarray,
+        chunk: Optional[int],
+    ) -> np.ndarray:
+        """(n_queries, rows) row currents, evaluated in blocked 3-D numpy."""
         n_queries = sl_matrix.shape[0]
-        winners = np.empty(n_queries, dtype=int)
-        row_units = np.empty((n_queries, self.rows))
-        for start in range(0, n_queries, max(1, chunk)):
-            stop = min(start + max(1, chunk), n_queries)
-            for qi in range(start, stop):
-                currents = self.cell_currents(
-                    sl_matrix[qi], dl_matrix[qi]
+        chunk = self._resolve_chunk(chunk)
+        row_currents = np.empty((n_queries, self.rows))
+        for start in range(0, n_queries, chunk):
+            stop = min(start + chunk, n_queries)
+            row_currents[start:stop] = self._row_currents_block(
+                sl_matrix[start:stop], dl_matrix[start:stop]
+            )
+        return row_currents
+
+    def _bias_current_table(
+        self, sl_values: np.ndarray, dl_values: np.ndarray
+    ) -> np.ndarray:
+        """(n_values, rows, cells) per-cell current sums per alphabet entry.
+
+        Cell currents for every alphabet row are evaluated through the
+        shared physics kernel and pre-reduced over each cell's
+        ``cell_fanout`` columns (the same within-cell tree
+        :meth:`_cell_sums` applies everywhere).  Memoised against the
+        write generation: re-programming any row (or a new bias
+        alphabet) invalidates the table, while back-to-back searches —
+        the Monte Carlo / inference hot path — reuse it.
+        """
+        key = (
+            self.write_generation,
+            sl_values.tobytes(),
+            dl_values.tobytes(),
+        )
+        if self._bias_table_cache is not None:
+            cached_key, table = self._bias_table_cache
+            if cached_key == key:
+                return table
+        table = self._cell_sums(
+            self.cell_currents_block(sl_values, dl_values)
+        )
+        self._bias_table_cache = (key, table)
+        return table
+
+    def _row_currents_from_table(
+        self,
+        table: np.ndarray,
+        value_index: np.ndarray,
+        chunk: Optional[int],
+    ) -> np.ndarray:
+        """(n_queries, rows) row currents via the bias-alphabet table.
+
+        Per block, the (chunk, rows, cells) per-cell sum tensor is
+        assembled by value-select from ``table`` — the per-cell floats
+        are exactly the ones :meth:`_row_currents_block` produces, so
+        the subsequent (identical) reduction keeps this path
+        bit-identical to the generic kernel at a fraction of its cost.
+        """
+        n_queries, n_values = value_index.shape[0], table.shape[0]
+        chunk = self._resolve_chunk(chunk)
+        row_currents = np.empty((n_queries, self.rows))
+        for start in range(0, n_queries, chunk):
+            stop = min(start + chunk, n_queries)
+            block_index = value_index[start:stop][:, None, :]
+            if n_values > 1:
+                currents = np.where(
+                    block_index == 0, table[0], table[1]
                 )
-                row_current = (
-                    currents.sum(axis=1) * self.variation.row_gain
+            else:
+                currents = np.broadcast_to(
+                    table[0], (stop - start, *table.shape[1:])
                 )
-                effective = row_current + self.variation.lta_offset
-                winners[qi] = int(np.argmin(effective))
-                row_units[qi] = (
-                    row_current / self.tech.cell.unit_current
-                )
+            for v in range(2, n_values):
+                np.copyto(currents, table[v], where=block_index == v)
+            row_currents[start:stop] = (
+                currents.sum(axis=2) * self.variation.row_gain[None, :]
+            )
+        return row_currents
+
+    def _validate_value_bias(
+        self,
+        sl_values: np.ndarray,
+        dl_values: np.ndarray,
+        value_index: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        sl_values, dl_values = self._validate_batch_bias(
+            sl_values, dl_values
+        )
+        value_index = np.asarray(value_index, dtype=int)
+        if value_index.ndim != 2 or value_index.shape[1] != self.cells:
+            raise ValueError(
+                f"expected (n, {self.cells}) per-cell value index, got "
+                f"{value_index.shape}"
+            )
+        n_values = sl_values.shape[0]
+        if value_index.size and (
+            value_index.min() < 0 or value_index.max() >= n_values
+        ):
+            raise ValueError(
+                f"value index outside [0, {n_values}) bias alphabet"
+            )
+        return sl_values, dl_values, value_index
+
+    def _first_query_dl(
+        self, dl_values: np.ndarray, value_index: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """(physical_cols,) drain levels of the first query, for the
+        nominal-activity energy estimate; ``None`` on empty batches."""
+        if not len(value_index):
+            return None
+        per_col = np.repeat(value_index[0], self.cell_fanout)
+        return dl_values[per_col, np.arange(self.physical_cols)]
+
+    def _nominal_batch_accounting(
+        self, dl_first: Optional[np.ndarray], row_currents: np.ndarray
+    ) -> tuple[SearchTiming, EnergyBreakdown]:
+        """Per-query timing/energy at nominal activity (first query)."""
+        n_queries = row_currents.shape[0]
         timing = self.timing_model.search_timing()
         energy = self.energy_model.search_energy(
-            row_units[0] * self.tech.cell.unit_current
-            if n_queries
-            else np.zeros(self.rows),
-            dl_matrix[0] if n_queries else np.zeros(self.physical_cols, int),
+            row_currents[0] if n_queries else np.zeros(self.rows),
+            dl_first
+            if dl_first is not None
+            else np.zeros(self.physical_cols, int),
             timing,
         )
+        energy.add("lta", 0.0)  # defensive parity with serial search()
+        return timing, energy
+
+    def _finish_search_batch(
+        self, row_currents: np.ndarray, dl_first: Optional[np.ndarray]
+    ) -> "BatchSearchResult":
+        decisions = self._lta.decide_batch(row_currents)
+        timing, energy = self._nominal_batch_accounting(
+            dl_first, row_currents
+        )
         return BatchSearchResult(
-            winners=winners,
-            row_units=row_units,
+            winners=decisions.winners.astype(int),
+            row_units=row_currents / self.tech.cell.unit_current,
             timing_per_query=timing,
             energy_per_query=energy,
+        )
+
+    def _finish_search_k_batch(
+        self,
+        row_currents: np.ndarray,
+        dl_first: Optional[np.ndarray],
+        k: int,
+    ) -> "BatchSearchKResult":
+        n_queries = row_currents.shape[0]
+        compete = row_currents.copy()
+        winners = np.empty((n_queries, k), dtype=int)
+        arange = np.arange(n_queries)
+        for round_ in range(k):
+            decisions = self._lta.decide_batch(compete)
+            winners[:, round_] = decisions.winners
+            compete[arange, decisions.winners] = np.inf
+        timing, energy = self._nominal_batch_accounting(
+            dl_first, row_currents
+        )
+        return BatchSearchKResult(
+            winners=winners,
+            row_units=row_currents / self.tech.cell.unit_current,
+            timing_per_query=timing,
+            energy_per_query=energy,
+        )
+
+    def search_batch(
+        self,
+        sl_matrix: np.ndarray,
+        dl_matrix: np.ndarray,
+        chunk: Optional[int] = None,
+    ) -> "BatchSearchResult":
+        """Vectorised search over a batch of arbitrary bias vectors.
+
+        Electrically equivalent to calling :meth:`search` per query (the
+        array is time-multiplexed; nothing is shared between queries) and
+        bit-identical to it by construction: cell currents are evaluated
+        through the same blocked 3-D kernel
+        (:meth:`cell_currents_block`, in ``(chunk, rows, cols)`` tensors)
+        and winners come from the same vectorised LTA decision path
+        (:meth:`LoserTakeAll.decide_batch`) that serial :meth:`search`
+        delegates to — including comparator offsets and stable tie
+        ordering.  Per-query timing/energy are identical across the
+        batch at the nominal margin, so the models are evaluated once.
+
+        When the batch is drawn from a small bias alphabet (every query
+        picks each column's bias from a few encoded levels — the AM
+        setting), :meth:`search_batch_values` is substantially faster.
+
+        Parameters
+        ----------
+        sl_matrix / dl_matrix:
+            (n_queries, physical_cols) search voltages and drain levels.
+        chunk:
+            Queries per numpy block (bounds peak memory at
+            ``chunk * rows * cols`` floats); values below 1 are clamped
+            to 1, ``None`` auto-sizes for cache residency.
+        """
+        sl_matrix, dl_matrix = self._validate_batch_bias(
+            sl_matrix, dl_matrix
+        )
+        row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
+        dl_first = dl_matrix[0] if len(dl_matrix) else None
+        return self._finish_search_batch(row_currents, dl_first)
+
+    def search_batch_values(
+        self,
+        sl_values: np.ndarray,
+        dl_values: np.ndarray,
+        value_index: np.ndarray,
+        chunk: Optional[int] = None,
+    ) -> "BatchSearchResult":
+        """Vectorised batch search over a small per-column bias alphabet.
+
+        The associative-memory fast path: every query biases column ``c``
+        with one of ``n_values`` encoded levels, so per-cell currents are
+        precomputed once into a ``(n_values, rows, cols)`` table (cached
+        across calls until the array is re-programmed) and each query
+        block is assembled by value-select instead of re-evaluating the
+        device physics.  Results are bit-identical to
+        :meth:`search_batch` / looped :meth:`search` on the equivalent
+        expanded matrices — the summed per-cell floats are exactly the
+        ones the shared physics kernel produces.
+
+        Parameters
+        ----------
+        sl_values / dl_values:
+            (n_values, physical_cols) bias alphabet: row ``v`` holds the
+            column biases a query element with value ``v`` applies to
+            its cell's ``cell_fanout`` columns.
+        value_index:
+            (n_queries, cells) integer alphabet row per query per
+            encoded element.
+        chunk:
+            As in :meth:`search_batch`.
+        """
+        sl_values, dl_values, value_index = self._validate_value_bias(
+            sl_values, dl_values, value_index
+        )
+        table = self._bias_current_table(sl_values, dl_values)
+        row_currents = self._row_currents_from_table(
+            table, value_index, chunk
+        )
+        return self._finish_search_batch(
+            row_currents, self._first_query_dl(dl_values, value_index)
         )
 
     def search_k(
@@ -430,3 +798,54 @@ class FeReXArray:
             results.append(result)
             active[result.winner] = False
         return results
+
+    def search_k_batch(
+        self,
+        sl_matrix: np.ndarray,
+        dl_matrix: np.ndarray,
+        k: int,
+        chunk: Optional[int] = None,
+    ) -> "BatchSearchKResult":
+        """Vectorised iterative k-nearest search over a query batch.
+
+        Equivalent to calling :meth:`search_k` per query: row currents
+        are evaluated once through the blocked 3-D kernel, then the
+        vectorised LTA decides ``k`` rounds, masking each round's winner
+        out of the competition (the interface MUX disconnecting the ScL,
+        exactly as in the serial flow).
+        """
+        if not 1 <= k <= self.rows:
+            raise ValueError(f"k={k} outside [1, {self.rows}]")
+        sl_matrix, dl_matrix = self._validate_batch_bias(
+            sl_matrix, dl_matrix
+        )
+        row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
+        dl_first = dl_matrix[0] if len(dl_matrix) else None
+        return self._finish_search_k_batch(row_currents, dl_first, k)
+
+    def search_k_batch_values(
+        self,
+        sl_values: np.ndarray,
+        dl_values: np.ndarray,
+        value_index: np.ndarray,
+        k: int,
+        chunk: Optional[int] = None,
+    ) -> "BatchSearchKResult":
+        """Bias-alphabet fast path of :meth:`search_k_batch`.
+
+        Same value-select current assembly as
+        :meth:`search_batch_values`, followed by the ``k``-round
+        winner-masking LTA flow.
+        """
+        if not 1 <= k <= self.rows:
+            raise ValueError(f"k={k} outside [1, {self.rows}]")
+        sl_values, dl_values, value_index = self._validate_value_bias(
+            sl_values, dl_values, value_index
+        )
+        table = self._bias_current_table(sl_values, dl_values)
+        row_currents = self._row_currents_from_table(
+            table, value_index, chunk
+        )
+        return self._finish_search_k_batch(
+            row_currents, self._first_query_dl(dl_values, value_index), k
+        )

@@ -13,10 +13,11 @@ from .drivers import (
     WriteLevelShifter,
 )
 from .interface import RowBias, RowInterface, RowMode
-from .lta import LoserTakeAll, LTADecision
+from .lta import BatchLTADecision, LoserTakeAll, LTADecision
 from .opamp import ClampOpAmp, SettlingReport
 
 __all__ = [
+    "BatchLTADecision",
     "ClampOpAmp",
     "DrainVoltageSelector",
     "DriveEvent",

@@ -56,6 +56,24 @@ class LTADecision:
         return self.winner
 
 
+@dataclass(frozen=True)
+class BatchLTADecision:
+    """Outcome of one loser-take-all comparison per query in a batch."""
+
+    #: (n_queries,) winner row index per comparison.
+    winners: np.ndarray
+    #: (n_queries,) winner/runner-up current gap, amps.
+    margins: np.ndarray
+    #: (n_queries,) decision delay, seconds.
+    delays: np.ndarray
+    #: (n_queries,) decision energy, joules.
+    energies: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.winners)
+
+
 class LoserTakeAll:
     """Loser-take-all comparator bank over ``n_rows`` inputs."""
 
@@ -93,8 +111,15 @@ class LoserTakeAll:
         A branch term inversely proportional to the resolvable gap plus a
         logarithmic fan-in term for the shared competition rail.
         """
+        return float(
+            self.decision_delay_batch(np.array([margin], dtype=float))[0]
+        )
+
+    def decision_delay_batch(self, margins: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decision_delay` over a (n,) margin array."""
         p = self.params
-        gap = max(margin, self.resolution_current)
+        margins = np.asarray(margins, dtype=float)
+        gap = np.maximum(margins, self.resolution_current)
         t_branch = p.node_capacitance * p.resolution_swing / gap
         t_fanin = (
             p.node_capacitance
@@ -111,32 +136,74 @@ class LoserTakeAll:
         small, which is why LTA power is largely amortised as the array
         grows.
         """
+        return float(
+            self.decision_energy_batch(np.array([delay], dtype=float))[0]
+        )
+
+    def decision_energy_batch(self, delays: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decision_energy` over a (n,) delay array."""
         p = self.params
+        delays = np.asarray(delays, dtype=float)
         bias = (
             p.bias_current_shared
             + p.bias_current_per_row * self.n_rows
         )
-        return bias * p.supply_voltage * delay + p.fixed_energy
+        return bias * p.supply_voltage * delays + p.fixed_energy
 
     def decide(self, row_currents: Sequence[float]) -> LTADecision:
-        """Run one LTA decision over the row currents (amps)."""
+        """Run one LTA decision over the row currents (amps).
+
+        Routed through :meth:`decide_batch` on a one-query batch, so
+        serial and batch searches share a single decision kernel and are
+        bit-identical by construction.
+        """
         currents = np.asarray(row_currents, dtype=float)
         if currents.shape != (self.n_rows,):
             raise ValueError(
                 f"expected {self.n_rows} row currents, got {currents.shape}"
             )
-        effective = currents + self.offsets
-        order = np.argsort(effective, kind="stable")
-        winner = int(order[0])
-        if self.n_rows == 1:
-            margin = float("inf")
-        else:
-            margin = float(effective[order[1]] - effective[order[0]])
-
-        delay = self.decision_delay(margin)
-        energy = self.decision_energy(delay)
+        batch = self.decide_batch(currents[None, :])
         return LTADecision(
-            winner=winner, margin=margin, delay=delay, energy=energy
+            winner=int(batch.winners[0]),
+            margin=float(batch.margins[0]),
+            delay=float(batch.delays[0]),
+            energy=float(batch.energies[0]),
+        )
+
+    def decide_batch(self, current_matrix: np.ndarray) -> BatchLTADecision:
+        """Vectorised LTA decisions over a (n_queries, n_rows) batch.
+
+        Each row of ``current_matrix`` is one independent comparison —
+        the array is time-multiplexed over the batch, so nothing is
+        shared between queries.  Semantics per query are exactly those of
+        :meth:`decide` (offset-adjusted stable ordering); :meth:`decide`
+        itself delegates here.
+        """
+        currents = np.asarray(current_matrix, dtype=float)
+        if currents.ndim != 2 or currents.shape[1] != self.n_rows:
+            raise ValueError(
+                f"expected (n, {self.n_rows}) current matrix, got "
+                f"{currents.shape}"
+            )
+        n_queries = currents.shape[0]
+        effective = currents + self.offsets[None, :]
+        if self.n_rows == 1:
+            winners = np.zeros(n_queries, dtype=int)
+            margins = np.full(n_queries, np.inf)
+        else:
+            order = np.argsort(effective, axis=1, kind="stable")
+            winners = order[:, 0]
+            margins = np.take_along_axis(
+                effective, order[:, 1:2], axis=1
+            )[:, 0] - np.take_along_axis(effective, order[:, 0:1], axis=1)[:, 0]
+
+        delays = self.decision_delay_batch(margins)
+        energies = self.decision_energy_batch(delays)
+        return BatchLTADecision(
+            winners=winners,
+            margins=margins,
+            delays=delays,
+            energies=energies,
         )
 
     def decide_k(

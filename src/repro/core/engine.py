@@ -15,6 +15,22 @@ Reconfiguring the same physical array for another metric is a matter of
 constructing a new engine over the same technology — no circuit change,
 which is the paper's headline claim (Table I: "HD / L1 / L2").
 
+Batch API
+---------
+The hot path for the paper's workloads (Fig. 7 Monte Carlo, Fig. 8 HDC
+inference) is thousands of queries against one programmed array.  Next
+to the one-query methods the engine therefore exposes:
+
+* :meth:`FeReX.search_batch` — (n, dims) queries in one call, returning
+  a :class:`repro.arch.crossbar.BatchSearchResult`.  Evaluated in
+  blocked 3-D numpy and decided by the same vectorised LTA kernel the
+  serial path uses, so winners and ``row_units`` are bit-identical to
+  looping :meth:`FeReX.search` — just orders of magnitude faster to
+  simulate (see ``benchmarks/bench_batch_throughput.py``).
+* :meth:`FeReX.search_k_batch` — the batched counterpart of
+  :meth:`FeReX.search_k` (iterative LTA winner masking), returning a
+  :class:`repro.arch.crossbar.BatchSearchKResult` with (n, k) winners.
+
 Example
 -------
 >>> import numpy as np
@@ -151,6 +167,11 @@ class FeReX:
             mults[v] = mm
         self._search_volt_lut = volts
         self._search_mult_lut = mults
+        # Full-width bias alphabet for the batched value-select fast
+        # path: row v holds the column biases a query of all-v elements
+        # would apply (column c uses FeFET slot c % k of the cell).
+        self._sl_value_table = np.tile(volts, self.dims)
+        self._dl_value_table = np.tile(mults, self.dims)
 
     # ------------------------------------------------------------------
     # Configuration
@@ -269,6 +290,7 @@ class FeReX:
             physical_cols=self.physical_cols,
             tech=self.tech,
             variation=variation,
+            cell_fanout=self.encoding.k,
         )
         levels = self._store_lut[vectors].reshape(rows, self.physical_cols)
         self.array.program_matrix(levels)
@@ -301,15 +323,7 @@ class FeReX:
             array_result=result,
         )
 
-    def search_batch(self, queries: np.ndarray):
-        """Vectorised nearest-neighbor search over a query batch.
-
-        Returns a :class:`repro.arch.crossbar.BatchSearchResult`;
-        electrically equivalent to looping :meth:`search` but orders of
-        magnitude faster to simulate.
-        """
-        if self.array is None:
-            raise RuntimeError("program() must be called before search")
+    def _validate_query_batch(self, queries: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=int)
         if queries.ndim != 2 or queries.shape[1] != self.dims:
             raise ValueError(
@@ -319,10 +333,40 @@ class FeReX:
             queries.min() < 0 or queries.max() >= self.n_values
         ):
             raise ValueError(f"query values outside [0, {self.n_values})")
-        n = queries.shape[0]
-        sl = self._search_volt_lut[queries].reshape(n, self.physical_cols)
-        dl = self._search_mult_lut[queries].reshape(n, self.physical_cols)
-        return self.array.search_batch(sl, dl)
+        return queries
+
+    def search_batch(self, queries: np.ndarray):
+        """Vectorised nearest-neighbor search over a query batch.
+
+        Returns a :class:`repro.arch.crossbar.BatchSearchResult` whose
+        winners and ``row_units`` are bit-identical to looping
+        :meth:`search` (same per-cell physics, same vectorised LTA
+        decision path) but orders of magnitude faster to simulate: the
+        query batch rides the array's bias-alphabet fast path
+        (:meth:`FeReXArray.search_batch_values`).
+        """
+        if self.array is None:
+            raise RuntimeError("program() must be called before search")
+        queries = self._validate_query_batch(queries)
+        return self.array.search_batch_values(
+            self._sl_value_table, self._dl_value_table, queries
+        )
+
+    def search_k_batch(self, queries: np.ndarray, k: int):
+        """Vectorised k-nearest search over a query batch.
+
+        The batched counterpart of :meth:`search_k`: per query, the LTA
+        decides ``k`` rounds with each round's winner masked out.
+        Returns a :class:`repro.arch.crossbar.BatchSearchKResult` with
+        (n, k) winners (nearest first) and the full (n, rows) hardware
+        distance readings.
+        """
+        if self.array is None:
+            raise RuntimeError("program() must be called before search")
+        queries = self._validate_query_batch(queries)
+        return self.array.search_k_batch_values(
+            self._sl_value_table, self._dl_value_table, queries, k
+        )
 
     def search_k(
         self, query: Sequence[int], k: int

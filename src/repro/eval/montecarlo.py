@@ -186,7 +186,13 @@ class MonteCarloKNNAccuracy:
         test_y: np.ndarray,
     ) -> MCAccuracyResult:
         """Fit both backends on identical data and report the accuracy
-        delta caused by hardware variation."""
+        delta caused by hardware variation.
+
+        Both backends classify the whole test set through the batched
+        :meth:`KNNClassifier.predict` path (one pairwise call for
+        software, per-bank ``search_k_batch`` for hardware), which is
+        what makes paper-sized Monte Carlo sweeps tractable.
+        """
         software = KNNClassifier(
             metric=self.metric, bits=self.bits, k=self.k,
             backend="software",

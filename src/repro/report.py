@@ -36,6 +36,7 @@ ARTIFACT_ORDER = [
     "ext_area",
     "ext_write_path",
     "ext_saturating",
+    "batch_throughput",
 ]
 
 

@@ -164,6 +164,13 @@ class TestClassifier:
         with pytest.raises(RuntimeError):
             model.predict(np.zeros((1, 4)))
 
+    def test_quantize_prototypes_before_fit_raises_runtime_error(self):
+        """_query_norm is only computed by fit(); calling the prototype
+        quantiser early must fail loudly, not with AttributeError."""
+        model = HDCClassifier(n_features=4, n_classes=2)
+        with pytest.raises(RuntimeError, match="fit"):
+            model._quantize_prototypes(np.zeros((2, model.dim)))
+
     def test_validation(self):
         with pytest.raises(ValueError):
             HDCClassifier(n_features=4, n_classes=1)

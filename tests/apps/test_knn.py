@@ -101,6 +101,52 @@ class TestFerexBackend:
             d_whole = whole.predict_one(q).neighbor_distances[0]
             assert d_banked == pytest.approx(d_whole, abs=0.05)
 
+    def test_batched_predict_matches_predict_one(self, toy_data, rng):
+        """predict() flows through one per-bank search_k_batch call;
+        its labels must match the one-query path exactly."""
+        x, y = toy_data
+        knn = KNNClassifier(
+            metric="hamming", bits=2, k=3, backend="ferex",
+            max_rows=16, seed=9,
+        ).fit(x, y)
+        queries = rng.integers(0, 4, size=(12, 8))
+        batched = knn.predict(queries)
+        looped = np.array([knn.predict_one(q).label for q in queries])
+        assert np.array_equal(batched, looped)
+
+    def test_k_exceeding_bank_rows_merges(self, toy_data):
+        """k larger than any single bank must still return k global
+        neighbors from the multi-bank merge."""
+        x, y = toy_data  # 40 rows
+        knn = KNNClassifier(
+            metric="hamming", bits=2, k=12, backend="ferex", max_rows=8
+        ).fit(x, y)
+        pred = knn.predict_one(x[0])
+        assert len(pred.neighbor_indices) == 12
+        assert len(set(pred.neighbor_indices)) == 12
+        assert pred.neighbor_indices[0] == 0  # exact match is nearest
+        # Distances come back merged in nondecreasing order.
+        assert all(
+            a <= b + 1e-9
+            for a, b in zip(
+                pred.neighbor_distances, pred.neighbor_distances[1:]
+            )
+        )
+
+    def test_k_exceeding_total_rows_capped(self):
+        x = np.array([[0, 0], [3, 3], [1, 2]])
+        y = np.array([0, 1, 0])
+        knn = KNNClassifier(
+            metric="manhattan", bits=2, k=10, backend="ferex", max_rows=2
+        ).fit(x, y)
+        pred = knn.predict_one([0, 1])
+        assert len(pred.neighbor_indices) == 3  # all stored rows
+
+    def test_empty_query_batch(self, toy_data):
+        x, y = toy_data
+        knn = KNNClassifier(metric="hamming", bits=2).fit(x, y)
+        assert knn.predict(np.empty((0, 8), dtype=int)).shape == (0,)
+
     def test_classification_with_variation_close_to_software(
         self, toy_data, rng
     ):

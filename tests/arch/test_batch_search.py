@@ -74,9 +74,78 @@ class TestBatchValidation:
         eng = FeReX(metric="hamming", bits=2, dims=4)
         with pytest.raises(RuntimeError):
             eng.search_batch(np.zeros((1, 4), dtype=int))
+        with pytest.raises(RuntimeError):
+            eng.search_k_batch(np.zeros((1, 4), dtype=int), 1)
 
     def test_mismatched_sl_dl_rejected(self, engine):
         sl = np.zeros((2, engine.physical_cols))
         dl = np.ones((3, engine.physical_cols), dtype=int)
         with pytest.raises(ValueError):
             engine.array.search_batch(sl, dl)
+
+    def test_value_index_validated(self, engine):
+        arr = engine.array
+        sl = engine._sl_value_table
+        dl = engine._dl_value_table
+        with pytest.raises(ValueError):  # wrong width
+            arr.search_batch_values(sl, dl, np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError):  # value outside the alphabet
+            arr.search_batch_values(
+                sl, dl, np.full((2, arr.cells), sl.shape[0])
+            )
+
+
+class TestBatchEdgeCases:
+    def test_empty_batch(self, engine):
+        batch = engine.search_batch(
+            np.empty((0, 8), dtype=int)
+        )
+        assert batch.n_queries == 0
+        assert batch.winners.shape == (0,)
+        assert batch.row_units.shape == (0, engine.array.rows)
+        assert batch.total_time == 0.0
+        assert batch.total_energy == 0.0
+
+    def test_empty_batch_search_k(self, engine):
+        batch = engine.search_k_batch(np.empty((0, 8), dtype=int), 2)
+        assert batch.winners.shape == (0, 2)
+
+    def test_single_row_array(self, rng):
+        eng = FeReX(metric="hamming", bits=2, dims=8)
+        eng.program(rng.integers(0, 4, size=(1, 8)))
+        batch = eng.search_batch(rng.integers(0, 4, size=(5, 8)))
+        assert batch.winners.tolist() == [0] * 5
+        # The serial path guarantees the "lta" energy key on 1-row
+        # arrays; the batch path must too.
+        assert "lta" in batch.energy_per_query.components
+
+    def test_chunk_below_one_clamped(self, engine, rng):
+        queries = rng.integers(0, 4, size=(5, 8))
+        sl = engine._search_volt_lut[queries].reshape(5, -1)
+        dl = engine._search_mult_lut[queries].reshape(5, -1)
+        a = engine.array.search_batch(sl, dl, chunk=0)
+        b = engine.array.search_batch(sl, dl, chunk=-3)
+        c = engine.array.search_batch(sl, dl)
+        assert np.array_equal(a.winners, c.winners)
+        assert np.array_equal(b.winners, c.winners)
+        assert np.allclose(a.row_units, c.row_units)
+
+    def test_search_k_batch_rejects_bad_k(self, engine, rng):
+        queries = rng.integers(0, 4, size=(2, 8))
+        with pytest.raises(ValueError):
+            engine.search_k_batch(queries, 0)
+        with pytest.raises(ValueError):
+            engine.search_k_batch(queries, engine.array.rows + 1)
+
+
+class TestBiasTableCache:
+    def test_cache_invalidated_by_reprogram(self, engine, rng):
+        queries = rng.integers(0, 4, size=(4, 8))
+        before = engine.search_batch(queries)
+        # Re-programming the array must invalidate the cached bias
+        # table, not serve stale currents.
+        engine.array.program_row(0, engine.array.levels[3])
+        after = engine.search_batch(queries)
+        serial = [engine.search(q).winner for q in queries]
+        assert after.winners.tolist() == serial
+        assert not np.array_equal(before.row_units, after.row_units)

@@ -87,6 +87,53 @@ class TestProgramming:
         assert arr.disturb_violations == 0
 
 
+class TestProgramMatrixFastPath:
+    """program_matrix is O(rows) closed-form accounting but must be
+    state-equivalent to looping program_row."""
+
+    def test_matches_per_row_programming(self):
+        rng = np.random.default_rng(3)
+        levels = rng.integers(0, 3, size=(6, 5))
+        fast = FeReXArray(rows=6, physical_cols=5)
+        fast.program_matrix(levels)
+        slow = FeReXArray(rows=6, physical_cols=5)
+        for row in range(6):
+            slow.program_row(row, levels[row])
+        assert np.array_equal(fast.levels, slow.levels)
+        assert np.array_equal(fast.vth, slow.vth)
+        assert fast.write_energy_total == pytest.approx(
+            slow.write_energy_total
+        )
+        assert fast.disturb_violations == slow.disturb_violations
+
+    def test_invalid_levels_leave_array_untouched(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        bad = np.array([[0, 1, 2], [0, 1, 99]])
+        with pytest.raises(ValueError):
+            arr.program_matrix(bad)
+        assert np.all(arr.levels == -1)
+        assert arr.write_energy_total == 0.0
+
+    def test_negative_level_rejected(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        with pytest.raises(ValueError):
+            arr.program_matrix(np.full((2, 3), -1))
+
+    def test_reprogramming_overwrites(self):
+        arr = FeReXArray(rows=2, physical_cols=3)
+        arr.program_matrix(np.zeros((2, 3), dtype=int))
+        arr.program_matrix(np.full((2, 3), 2))
+        assert np.all(arr.levels == 2)
+
+    def test_cell_fanout_validated(self):
+        with pytest.raises(ValueError):
+            FeReXArray(rows=2, physical_cols=3, cell_fanout=2)
+        with pytest.raises(ValueError):
+            FeReXArray(rows=2, physical_cols=4, cell_fanout=0)
+        arr = FeReXArray(rows=2, physical_cols=4, cell_fanout=2)
+        assert arr.cells == 2
+
+
 class TestTable2Search:
     """End-to-end: the paper's Table II encoding through the analog
     array reproduces the Fig. 4(a) distance matrix."""

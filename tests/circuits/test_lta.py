@@ -55,6 +55,46 @@ class TestDecision:
         assert int(lta.decide([2e-7, 1e-7])) == 1
 
 
+class TestDecideBatch:
+    def test_matches_serial_decide_per_row(self, rng):
+        offsets = rng.normal(0, 2e-8, size=5)
+        lta = LoserTakeAll(5, offsets=offsets)
+        matrix = rng.uniform(1e-7, 9e-7, size=(20, 5))
+        batch = lta.decide_batch(matrix)
+        for i, row in enumerate(matrix):
+            serial = lta.decide(row)
+            assert batch.winners[i] == serial.winner
+            assert batch.margins[i] == serial.margin
+            assert batch.delays[i] == serial.delay
+            assert batch.energies[i] == serial.energy
+
+    def test_single_row_lta(self):
+        lta = LoserTakeAll(1)
+        batch = lta.decide_batch(np.array([[1e-7], [2e-7]]))
+        assert batch.winners.tolist() == [0, 0]
+        assert np.all(np.isinf(batch.margins))
+
+    def test_empty_batch(self):
+        lta = LoserTakeAll(3)
+        batch = lta.decide_batch(np.empty((0, 3)))
+        assert batch.n_queries == 0
+        assert batch.winners.shape == (0,)
+
+    def test_shape_validated(self):
+        lta = LoserTakeAll(3)
+        with pytest.raises(ValueError):
+            lta.decide_batch(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            lta.decide_batch(np.zeros(3))
+
+    def test_stable_tie_ordering(self):
+        """Exact ties resolve to the lowest row index, matching the
+        serial decide()'s stable sort."""
+        lta = LoserTakeAll(4)
+        batch = lta.decide_batch(np.full((3, 4), 2e-7))
+        assert batch.winners.tolist() == [0, 0, 0]
+
+
 class TestTopK:
     def test_orders_by_current(self):
         lta = LoserTakeAll(4)
