@@ -1,0 +1,105 @@
+"""Index search throughput vs bank count (sharding scaling curve).
+
+The :class:`repro.index.FerexIndex` shards its stored set across
+physical array banks of ``bank_rows`` each.  For a fixed stored set,
+more banks mean smaller per-bank arrays (cheaper per-bank evaluation)
+but more merge candidates per query; this bench records batched
+queries/sec across the sweep and persists
+``results/BENCH_index_scaling.json`` so future PRs (async serving,
+caching, replication) can track the trajectory.
+
+Also records the one-bank exact-backend throughput as the software
+reference line.
+"""
+
+import time
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.index import FerexIndex
+
+from conftest import save_artifact, save_json_artifact
+
+ROWS = 256
+DIMS = 64
+BITS = 2
+N_QUERIES = 512
+K = 3
+BANK_COUNTS = (1, 2, 4, 8)
+
+
+def _measure(index, queries) -> dict:
+    index.search(queries[:2], k=K)  # warm caches / bias tables
+    t0 = time.perf_counter()
+    result = index.search(queries, k=K)
+    elapsed = time.perf_counter() - t0
+    assert result.ids.shape == (len(queries), K)
+    return {
+        "qps": len(queries) / elapsed,
+        "time_s": elapsed,
+    }
+
+
+def test_index_scaling():
+    rng = np.random.default_rng(29)
+    stored = rng.integers(0, 1 << BITS, size=(ROWS, DIMS))
+    queries = rng.integers(0, 1 << BITS, size=(N_QUERIES, DIMS))
+
+    results = {}
+    for n_banks in BANK_COUNTS:
+        index = FerexIndex(
+            dims=DIMS,
+            metric="hamming",
+            bits=BITS,
+            backend="ferex",
+            bank_rows=ROWS // n_banks,
+        )
+        index.add(stored)
+        assert index.n_banks == n_banks
+        results[f"ferex_{n_banks}_banks"] = {
+            "banks": n_banks,
+            "bank_rows": ROWS // n_banks,
+            **_measure(index, queries),
+        }
+
+    exact = FerexIndex(dims=DIMS, metric="hamming", bits=BITS, backend="exact")
+    exact.add(stored)
+    results["exact_reference"] = {
+        "banks": 0,
+        "bank_rows": ROWS,
+        **_measure(exact, queries),
+    }
+
+    rows_out = [
+        [name, f"{r['banks']}", f"{r['bank_rows']}", f"{r['qps']:.0f}"]
+        for name, r in results.items()
+    ]
+    text = format_table(
+        ["Configuration", "Banks", "Rows/bank", "Queries/s"],
+        rows_out,
+        title=(
+            f"FerexIndex search throughput vs bank count "
+            f"({ROWS}x{DIMS}, {N_QUERIES} queries, k={K})"
+        ),
+    )
+    save_artifact("index_scaling", text)
+    save_json_artifact(
+        "BENCH_index_scaling",
+        {
+            "workload": {
+                "rows": ROWS,
+                "dims": DIMS,
+                "bits": BITS,
+                "n_queries": N_QUERIES,
+                "k": K,
+            },
+            "results": results,
+        },
+    )
+
+    # Every sharding must stay usable: within ~100x of the single-bank
+    # configuration (the merge overhead is per-bank, not per-row).
+    base = results["ferex_1_banks"]["qps"]
+    for n_banks in BANK_COUNTS[1:]:
+        assert results[f"ferex_{n_banks}_banks"]["qps"] > base / 100

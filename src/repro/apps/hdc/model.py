@@ -26,6 +26,7 @@ import numpy as np
 
 from ...core.distance import get_metric
 from ...core.engine import FeReX
+from ...index import FerexIndex
 from .encoder import RandomProjectionEncoder
 from .quantize import SymmetricQuantizer
 
@@ -98,7 +99,7 @@ class HDCClassifier:
         self.quantizer = SymmetricQuantizer(bits=bits)
         self._accumulators: Optional[np.ndarray] = None
         self._prototypes: Optional[np.ndarray] = None
-        self._engine: Optional[FeReX] = None
+        self._index: Optional[FerexIndex] = None
         #: Mean query-hypervector norm, set by fit(); prototypes are
         #: rescaled to it so stored and searched vectors share one
         #: integer grid.
@@ -110,10 +111,19 @@ class HDCClassifier:
         return self.encoder.dim
 
     @property
+    def index(self) -> Optional[FerexIndex]:
+        """The associative-memory index (ferex backend only; built
+        lazily at fit/predict time)."""
+        return self._index
+
+    @property
     def engine(self) -> Optional[FeReX]:
-        """The underlying FeReX engine (ferex backend only; built lazily
-        at fit/predict time)."""
-        return self._engine
+        """The underlying FeReX engine of the AM bank (ferex backend
+        only; the class prototypes always fit one bank)."""
+        if self._index is None:
+            return None
+        engines = self._index.backend.engines
+        return engines[0] if engines else None
 
     @property
     def prototypes(self) -> np.ndarray:
@@ -163,9 +173,9 @@ class HDCClassifier:
 
         self._accumulators = acc
         self._prototypes = self._quantize_prototypes(acc)
-        self._engine = None
+        self._index = None
         if self.backend == "ferex":
-            self._engine = self._build_engine()
+            self._index = self._build_index()
         return self
 
     def _quantize_prototypes(self, acc: np.ndarray) -> np.ndarray:
@@ -186,16 +196,23 @@ class HDCClassifier:
         scaled = acc / norms * self._query_norm
         return self.quantizer.transform(scaled)
 
-    def _build_engine(self) -> FeReX:
-        engine = FeReX(
+    def _build_index(self) -> FerexIndex:
+        """One AM bank holding the class prototypes, one row per class.
+
+        ``bank_rows = n_classes`` so the prototypes occupy exactly one
+        physical array; prototype id == class label by construction.
+        """
+        index = FerexIndex(
+            dims=self.dim,
             metric=self.metric_name,
             bits=self.bits,
-            dims=self.dim,
+            backend="ferex",
+            bank_rows=self.n_classes,
             encoder=self.encoder_mode,
             seed=(self.seed + 1) if self.variation else None,
         )
-        engine.program(self.prototypes)
-        return engine
+        index.add(self.prototypes)
+        return index
 
     # ------------------------------------------------------------------
     # Inference
@@ -208,9 +225,10 @@ class HDCClassifier:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predicted class per sample.
 
-        The ferex backend pushes the whole query batch through
-        :meth:`FeReX.search_batch` — one blocked array evaluation plus
-        one vectorised LTA pass, bit-identical to per-query searches.
+        The ferex backend pushes the whole query batch through one
+        :meth:`repro.index.FerexIndex.search` call — one blocked array
+        evaluation plus one vectorised LTA pass, bit-identical to
+        per-query searches; the returned ids *are* the class labels.
         """
         queries = self.encode_queries(x)
         if self.backend == "software":
@@ -218,9 +236,9 @@ class HDCClassifier:
                 queries, self.prototypes, self.bits
             )
             return np.argmin(distances, axis=1).astype(int)
-        if self._engine is None:
-            self._engine = self._build_engine()
-        return self._engine.search_batch(queries).winners.astype(int)
+        if self._index is None:
+            self._index = self._build_index()
+        return self._index.search(queries, k=1).ids[:, 0].astype(int)
 
     def score(self, x: np.ndarray, y: np.ndarray) -> float:
         """Classification accuracy."""

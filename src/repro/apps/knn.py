@@ -3,35 +3,33 @@
 The paper validates FeReX "in the context of KNN" (Sec. IV-A, Fig. 7):
 reference vectors are stored row-wise in the AM, the query drives the
 search lines, and the LTA returns the stored row with the smallest
-configured distance.  ``k > 1`` uses the iterative winner-masking flow
-(:meth:`repro.arch.crossbar.FeReXArray.search_k`).
+configured distance.
 
-Two backends share one interface:
+All neighbor search is delegated to a :class:`repro.index.FerexIndex`,
+the shared sharded-search layer:
 
-* ``software`` — exact integer distance computation (the baseline the
-  paper compares hardware accuracy against);
-* ``ferex`` — full array simulation through :class:`repro.core.FeReX`,
-  including device variation when a seed is supplied.  Reference sets
-  larger than ``max_rows`` are split across array banks; bank winners are
-  merged by their measured analog distances, exactly how a multi-bank
-  FeReX deployment would compose.
+* ``software`` — the index's exact backend (the baseline the paper
+  compares hardware accuracy against);
+* ``ferex`` — the index's sharded-bank array simulation, including
+  device variation when a seed is supplied.  Reference sets larger than
+  ``max_rows`` split across banks inside the index, which also performs
+  the vectorised (analog distance, global row) merge.
 
-Both backends are batched: :meth:`KNNClassifier.predict` classifies the
-whole query set with one ``pairwise`` call (software) or one per-bank
-:meth:`repro.core.FeReX.search_k_batch` call plus a vectorised bank
-merge (ferex), rather than looping queries through Python.
+Both paths are batched end to end: :meth:`KNNClassifier.predict`
+classifies the whole query set with one :meth:`FerexIndex.search` call
+and one `np.bincount`-based vectorised majority vote — no per-query
+Python loops anywhere.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.distance import get_metric
-from ..core.engine import FeReX
+from ..index import FerexIndex
 
 
 @dataclass
@@ -49,7 +47,7 @@ class KNNClassifier:
     Parameters
     ----------
     metric / bits:
-        Distance configuration passed to the engine.
+        Distance configuration passed to the index.
     k:
         Neighbors per vote.
     backend:
@@ -82,14 +80,14 @@ class KNNClassifier:
         self.max_rows = max_rows
         self.encoder = encoder
         self.seed = seed
-        self._train_x: Optional[np.ndarray] = None
-        self._train_y: Optional[np.ndarray] = None
-        self._banks: List[FeReX] = []
-        self._bank_offsets: List[int] = []
+        self._index: Optional[FerexIndex] = None
+        self._label_values: Optional[np.ndarray] = None
+        self._label_codes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
-        """Store the reference set (and program the arrays for ferex)."""
+        """Store the reference set in a fresh index (programming the
+        array banks for the ferex backend)."""
         x = np.asarray(x, dtype=int)
         y = np.asarray(y, dtype=int)
         if x.ndim != 2:
@@ -98,101 +96,67 @@ class KNNClassifier:
             raise ValueError("x and y length mismatch")
         if len(x) == 0:
             raise ValueError("empty reference set")
-        self._train_x = x
-        self._train_y = y
-        self._banks = []
-        self._bank_offsets = []
-        if self.backend == "ferex":
-            dims = x.shape[1]
-            for start in range(0, len(x), self.max_rows):
-                chunk = x[start : start + self.max_rows]
-                seed = (
-                    None
-                    if self.seed is None
-                    else self.seed + start // self.max_rows
-                )
-                engine = FeReX(
-                    metric=self.metric_name,
-                    bits=self.bits,
-                    dims=dims,
-                    encoder=self.encoder,
-                    seed=seed,
-                )
-                engine.program(chunk)
-                self._banks.append(engine)
-                self._bank_offsets.append(start)
+        # Dense label codes for the bincount vote (labels may be any
+        # integers; codes are their sorted-unique positions).
+        self._label_values, self._label_codes = np.unique(
+            y, return_inverse=True
+        )
+        self._index = FerexIndex(
+            dims=x.shape[1],
+            metric=self.metric_name,
+            bits=self.bits,
+            backend="ferex" if self.backend == "ferex" else "exact",
+            bank_rows=self.max_rows,
+            encoder=self.encoder,
+            seed=self.seed,
+        )
+        self._index.add(x)  # auto ids == row positions == train indices
         return self
 
     @property
+    def index(self) -> Optional[FerexIndex]:
+        """The underlying vector index (None before fit)."""
+        return self._index
+
+    @property
     def n_banks(self) -> int:
-        return len(self._banks)
+        return self._index.n_banks if self._index is not None else 0
 
     # ------------------------------------------------------------------
-    def _neighbors_software_batch(
-        self, queries: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """(n, k') neighbor indices and distances, one pairwise call."""
-        distances = self.metric.pairwise(
-            queries, self._train_x, self.bits
-        ).astype(float)
-        k_eff = min(self.k, distances.shape[1])
-        order = np.argsort(distances, axis=1, kind="stable")[:, :k_eff]
-        return order, np.take_along_axis(distances, order, axis=1)
-
-    def _neighbors_ferex_batch(
-        self, queries: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-bank batched ``search_k`` + vectorised bank merge.
-
-        Each bank contributes its ``min(k, rows)`` nearest rows per
-        query; candidates merge on (analog distance, global row index) —
-        exactly how a multi-bank FeReX deployment composes its LTA
-        outputs, and the same ordering the serial per-query merge used.
-        """
-        bank_idx: List[np.ndarray] = []
-        bank_dist: List[np.ndarray] = []
-        for engine, offset in zip(self._banks, self._bank_offsets):
-            k_eff = min(self.k, engine.array.rows)
-            result = engine.search_k_batch(queries, k_eff)
-            bank_idx.append(offset + result.winners)
-            bank_dist.append(
-                np.take_along_axis(result.row_units, result.winners, axis=1)
-            )
-        idx = np.concatenate(bank_idx, axis=1)
-        dist = np.concatenate(bank_dist, axis=1)
-        # Per-query merge sorted by (distance, global index) — lexsort's
-        # last key is primary.
-        order = np.lexsort((idx, dist))[:, : self.k]
-        return (
-            np.take_along_axis(idx, order, axis=1),
-            np.take_along_axis(dist, order, axis=1),
-        )
-
     def _neighbors_batch(
         self, queries: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        if self.backend == "software":
-            return self._neighbors_software_batch(queries)
-        return self._neighbors_ferex_batch(queries)
+        """(n, k') neighbor train-indices and distances via the index."""
+        outcome = self._index.search(queries, self.k)
+        return outcome.ids, outcome.distances
 
-    def _vote(self, idx: np.ndarray) -> int:
-        votes = Counter(int(self._train_y[i]) for i in idx)
-        # Majority vote; ties break toward the closest neighbor's label.
-        best_count = max(votes.values())
-        tied = {label for label, c in votes.items() if c == best_count}
-        return next(
-            int(self._train_y[i]) for i in idx
-            if int(self._train_y[i]) in tied
-        )
+    def _vote_batch(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised majority vote over (n, k) neighbor indices.
+
+        One flat ``np.bincount`` per batch; ties in the count break
+        toward the label of the closest tied neighbor (column order is
+        nearest-first).
+        """
+        codes = self._label_codes[idx]  # (n, k) dense label codes
+        n, k = codes.shape
+        n_labels = len(self._label_values)
+        counts = np.bincount(
+            (codes + np.arange(n)[:, None] * n_labels).ravel(),
+            minlength=n * n_labels,
+        ).reshape(n, n_labels)
+        tied = counts == counts.max(axis=1, keepdims=True)
+        # First (closest) neighbor whose label is in the tied set.
+        first = np.take_along_axis(tied, codes, axis=1).argmax(axis=1)
+        return self._label_values[codes[np.arange(n), first]]
 
     def predict_one(self, query: Sequence[int]) -> KNNPrediction:
         """Classify a single query vector (one-row batch)."""
-        if self._train_x is None or self._train_y is None:
+        if self._index is None:
             raise RuntimeError("fit() must be called before predict")
         query = np.asarray(query, dtype=int)
         idx, dist = self._neighbors_batch(query.reshape(1, -1))
         return KNNPrediction(
-            label=self._vote(idx[0]),
+            label=int(self._vote_batch(idx)[0]),
             neighbor_indices=tuple(int(i) for i in idx[0]),
             neighbor_distances=tuple(float(d) for d in dist[0]),
         )
@@ -200,12 +164,12 @@ class KNNClassifier:
     def predict(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of query vectors.
 
-        The whole batch flows through one ``pairwise`` call (software
-        backend) or one per-bank :meth:`FeReX.search_k_batch` call plus
-        a vectorised bank merge (ferex backend); only the majority vote
-        loops per query.
+        The whole batch flows through one :meth:`FerexIndex.search`
+        (one ``pairwise`` call for software, per-bank batched
+        ``search_k`` plus the index's vectorised merge for ferex) and
+        one vectorised majority vote.
         """
-        if self._train_x is None or self._train_y is None:
+        if self._index is None:
             raise RuntimeError("fit() must be called before predict")
         queries = np.asarray(queries, dtype=int)
         if queries.ndim != 2:
@@ -213,7 +177,7 @@ class KNNClassifier:
         if len(queries) == 0:
             return np.empty(0, dtype=int)
         idx, _ = self._neighbors_batch(queries)
-        return np.array([self._vote(row) for row in idx], dtype=int)
+        return self._vote_batch(idx).astype(int)
 
     def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on a labelled set."""

@@ -283,7 +283,8 @@ class FeReXArray:
         """Program every row of the array from a (rows, cols) level matrix.
 
         Fast path equivalent to looping :meth:`program_row` over every
-        row, but O(rows): thresholds are written through one vectorised
+        row, but O(rows): delegates to :meth:`program_rows` on the full
+        row span, so thresholds are written through one vectorised
         level-to-Vth lookup and the erase/program energy plus half-select
         disturb exposure are accounted in a single closed-form pass
         instead of the per-written-row loop (which re-touches every
@@ -297,6 +298,34 @@ class FeReXArray:
                 f"expected shape ({self.rows}, {self.physical_cols}), "
                 f"got {levels.shape}"
             )
+        self.program_rows(0, levels)
+
+    def program_rows(self, start: int, levels: np.ndarray) -> None:
+        """Erase-then-program a contiguous slice of rows, vectorised.
+
+        The row-level incremental write path: rows ``start ..
+        start + n - 1`` are written from an (n, physical_cols) level
+        matrix while every other row is inhibited, leaving previously
+        programmed rows untouched.  This is how a deployed bank admits
+        new vectors without a full re-program (see
+        :class:`repro.index.FerexIndex`).  Energy and half-select
+        disturb exposure are accounted in closed form, identical to the
+        per-row loop summed analytically; validation happens up front so
+        an invalid write leaves the array untouched.
+        """
+        levels = np.asarray(levels, dtype=int)
+        if levels.ndim != 2 or levels.shape[1] != self.physical_cols:
+            raise ValueError(
+                f"expected (n, {self.physical_cols}) levels, got "
+                f"{levels.shape}"
+            )
+        n = levels.shape[0]
+        if n < 1:
+            raise ValueError("need at least one row to program")
+        if not 0 <= start or start + n > self.rows:
+            raise ValueError(
+                f"row span [{start}, {start + n}) outside [0, {self.rows})"
+            )
         fefet = self.tech.fefet
         if levels.min() < 0 or levels.max() >= fefet.n_vth_levels:
             raise ValueError("level outside the device MLC range")
@@ -305,20 +334,24 @@ class FeReXArray:
         vth_lut = np.array(
             [fefet.vth_level(l) for l in range(fefet.n_vth_levels)]
         )
-        self._vth_nominal = vth_lut[levels]
-        self.levels = levels.copy()
-        # Each row costs one erase pulse + one program pulse over all of
-        # its cells, exactly as in program_row.
-        self._account_write(self.physical_cols, n_pulses=2 * self.rows)
-        self._apply_disturb_all_rows(pulses_per_row=2)
+        self._vth_nominal[start : start + n] = vth_lut[levels]
+        self.levels[start : start + n] = levels
+        # Each written row costs one erase pulse + one program pulse over
+        # all of its cells, exactly as in program_row.
+        self._account_write(self.physical_cols, n_pulses=2 * n)
+        self._apply_disturb_rows(start, n, pulses_per_row=2)
 
-    def _apply_disturb_all_rows(self, pulses_per_row: int) -> None:
-        """Closed-form disturb accounting for a whole-array write.
+    def _apply_disturb_rows(
+        self, start: int, n: int, pulses_per_row: int
+    ) -> None:
+        """Closed-form disturb accounting for an n-row slice write.
 
-        Writing every row with ``pulses_per_row`` pulses exposes each
-        cell to ``pulses_per_row * (rows - 1)`` half-select events (one
-        per pulse on every *other* row) — the same exposure the per-row
-        :meth:`_apply_disturb` loop accumulates, summed analytically.
+        Each pulse on a written row half-selects every *other* row, so a
+        row outside the slice sees ``pulses_per_row * n`` events while a
+        row inside it sees ``pulses_per_row * (n - 1)`` (it is fully
+        selected, not inhibited, during its own write) — the same
+        exposure the per-row :meth:`_apply_disturb` loop accumulates,
+        summed analytically.
         """
         fefet = self.tech.fefet
         half = 0.5 * self.tech.driver.write_voltage
@@ -326,12 +359,13 @@ class FeReXArray:
         overdrive = half - safe
         if overdrive <= 0:
             return
-        n_events = pulses_per_row * (self.rows - 1)
+        events = np.full(self.rows, pulses_per_row * n, dtype=float)
+        events[start : start + n] = pulses_per_row * (n - 1)
         self._disturb_drift -= (
-            self.DISTURB_DRIFT_PER_VOLT * overdrive * n_events
+            self.DISTURB_DRIFT_PER_VOLT * overdrive * events[:, None]
         )
         self.disturb_violations += (
-            pulses_per_row * self.rows * (self.rows - 1) * self.physical_cols
+            pulses_per_row * n * (self.rows - 1) * self.physical_cols
         )
 
     def _account_write(self, n_cells: int, n_pulses: int = 1) -> None:
@@ -492,12 +526,8 @@ class FeReXArray:
             )
         row_currents = self._row_currents_block(sl[None, :], dl[None, :])[0]
 
-        compete = row_currents.copy()
-        if active_rows is not None:
-            active_rows = np.asarray(active_rows, dtype=bool)
-            if active_rows.shape != (self.rows,):
-                raise ValueError("active_rows must have one flag per row")
-            compete[~active_rows] = np.inf
+        active = self._validate_active_rows(active_rows)
+        compete = self._masked_compete(row_currents[None, :], active)[0]
 
         decision = self._lta.decide(compete)
         timing = self.timing_model.search_timing(decision.margin)
@@ -663,10 +693,40 @@ class FeReXArray:
         energy.add("lta", 0.0)  # defensive parity with serial search()
         return timing, energy
 
+    def _validate_active_rows(
+        self, active_rows: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Normalise the optional competition mask to a (rows,) bool
+        array (``None`` = all rows compete)."""
+        if active_rows is None:
+            return None
+        active_rows = np.asarray(active_rows, dtype=bool)
+        if active_rows.shape != (self.rows,):
+            raise ValueError("active_rows must have one flag per row")
+        if not active_rows.any():
+            raise ValueError(
+                "active_rows must leave at least one row competing"
+            )
+        return active_rows
+
+    def _masked_compete(
+        self, row_currents: np.ndarray, active: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Competition currents with masked rows' LTA branches disabled
+        (the interface MUX disconnects their ScL, modelled as +inf)."""
+        if active is None:
+            return row_currents.copy()
+        return np.where(active[None, :], row_currents, np.inf)
+
     def _finish_search_batch(
-        self, row_currents: np.ndarray, dl_first: Optional[np.ndarray]
+        self,
+        row_currents: np.ndarray,
+        dl_first: Optional[np.ndarray],
+        active: Optional[np.ndarray] = None,
     ) -> "BatchSearchResult":
-        decisions = self._lta.decide_batch(row_currents)
+        decisions = self._lta.decide_batch(
+            self._masked_compete(row_currents, active)
+        )
         timing, energy = self._nominal_batch_accounting(
             dl_first, row_currents
         )
@@ -682,9 +742,10 @@ class FeReXArray:
         row_currents: np.ndarray,
         dl_first: Optional[np.ndarray],
         k: int,
+        active: Optional[np.ndarray] = None,
     ) -> "BatchSearchKResult":
         n_queries = row_currents.shape[0]
-        compete = row_currents.copy()
+        compete = self._masked_compete(row_currents, active)
         winners = np.empty((n_queries, k), dtype=int)
         arange = np.arange(n_queries)
         for round_ in range(k):
@@ -701,11 +762,19 @@ class FeReXArray:
             energy_per_query=energy,
         )
 
+    def _check_batch_k(
+        self, k: int, active: Optional[np.ndarray]
+    ) -> None:
+        n_competing = self.rows if active is None else int(active.sum())
+        if not 1 <= k <= n_competing:
+            raise ValueError(f"k={k} outside [1, {n_competing}]")
+
     def search_batch(
         self,
         sl_matrix: np.ndarray,
         dl_matrix: np.ndarray,
         chunk: Optional[int] = None,
+        active_rows: Optional[np.ndarray] = None,
     ) -> "BatchSearchResult":
         """Vectorised search over a batch of arbitrary bias vectors.
 
@@ -732,13 +801,19 @@ class FeReXArray:
             Queries per numpy block (bounds peak memory at
             ``chunk * rows * cols`` floats); values below 1 are clamped
             to 1, ``None`` auto-sizes for cache residency.
+        active_rows:
+            Optional (rows,) bool mask; ``False`` rows still conduct but
+            their LTA branch is disabled (used for unwritten capacity
+            and tombstoned rows in a :class:`repro.index.FerexIndex`
+            bank), exactly as in serial :meth:`search`.
         """
         sl_matrix, dl_matrix = self._validate_batch_bias(
             sl_matrix, dl_matrix
         )
+        active = self._validate_active_rows(active_rows)
         row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
         dl_first = dl_matrix[0] if len(dl_matrix) else None
-        return self._finish_search_batch(row_currents, dl_first)
+        return self._finish_search_batch(row_currents, dl_first, active)
 
     def search_batch_values(
         self,
@@ -746,6 +821,7 @@ class FeReXArray:
         dl_values: np.ndarray,
         value_index: np.ndarray,
         chunk: Optional[int] = None,
+        active_rows: Optional[np.ndarray] = None,
     ) -> "BatchSearchResult":
         """Vectorised batch search over a small per-column bias alphabet.
 
@@ -768,18 +844,20 @@ class FeReXArray:
         value_index:
             (n_queries, cells) integer alphabet row per query per
             encoded element.
-        chunk:
+        chunk / active_rows:
             As in :meth:`search_batch`.
         """
         sl_values, dl_values, value_index = self._validate_value_bias(
             sl_values, dl_values, value_index
         )
+        active = self._validate_active_rows(active_rows)
         table = self._bias_current_table(sl_values, dl_values)
         row_currents = self._row_currents_from_table(
             table, value_index, chunk
         )
         return self._finish_search_batch(
-            row_currents, self._first_query_dl(dl_values, value_index)
+            row_currents, self._first_query_dl(dl_values, value_index),
+            active,
         )
 
     def search_k(
@@ -805,6 +883,7 @@ class FeReXArray:
         dl_matrix: np.ndarray,
         k: int,
         chunk: Optional[int] = None,
+        active_rows: Optional[np.ndarray] = None,
     ) -> "BatchSearchKResult":
         """Vectorised iterative k-nearest search over a query batch.
 
@@ -812,16 +891,18 @@ class FeReXArray:
         are evaluated once through the blocked 3-D kernel, then the
         vectorised LTA decides ``k`` rounds, masking each round's winner
         out of the competition (the interface MUX disconnecting the ScL,
-        exactly as in the serial flow).
+        exactly as in the serial flow).  ``active_rows`` pre-masks rows
+        out of every round (unwritten capacity / tombstones); ``k`` is
+        then bounded by the number of competing rows.
         """
-        if not 1 <= k <= self.rows:
-            raise ValueError(f"k={k} outside [1, {self.rows}]")
         sl_matrix, dl_matrix = self._validate_batch_bias(
             sl_matrix, dl_matrix
         )
+        active = self._validate_active_rows(active_rows)
+        self._check_batch_k(k, active)
         row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
         dl_first = dl_matrix[0] if len(dl_matrix) else None
-        return self._finish_search_k_batch(row_currents, dl_first, k)
+        return self._finish_search_k_batch(row_currents, dl_first, k, active)
 
     def search_k_batch_values(
         self,
@@ -830,22 +911,24 @@ class FeReXArray:
         value_index: np.ndarray,
         k: int,
         chunk: Optional[int] = None,
+        active_rows: Optional[np.ndarray] = None,
     ) -> "BatchSearchKResult":
         """Bias-alphabet fast path of :meth:`search_k_batch`.
 
         Same value-select current assembly as
         :meth:`search_batch_values`, followed by the ``k``-round
-        winner-masking LTA flow.
+        winner-masking LTA flow over the ``active_rows`` competition.
         """
-        if not 1 <= k <= self.rows:
-            raise ValueError(f"k={k} outside [1, {self.rows}]")
         sl_values, dl_values, value_index = self._validate_value_bias(
             sl_values, dl_values, value_index
         )
+        active = self._validate_active_rows(active_rows)
+        self._check_batch_k(k, active)
         table = self._bias_current_table(sl_values, dl_values)
         row_currents = self._row_currents_from_table(
             table, value_index, chunk
         )
         return self._finish_search_k_batch(
-            row_currents, self._first_query_dl(dl_values, value_index), k
+            row_currents, self._first_query_dl(dl_values, value_index), k,
+            active,
         )

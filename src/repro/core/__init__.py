@@ -31,7 +31,12 @@ from .encoding import (
     off_count_search_levels,
     verify_encoding,
 )
-from .engine import ConfigurationError, EngineSearchResult, FeReX
+from .engine import (
+    ConfigurationError,
+    EngineSearchResult,
+    FeReX,
+    NotProgrammedError,
+)
 from .feasibility import (
     CellSolution,
     FeasibilityResult,
@@ -59,6 +64,7 @@ __all__ = [
     "FeasibilityResult",
     "HAMMING",
     "MANHATTAN",
+    "NotProgrammedError",
     "RowAssignment",
     "ac3",
     "available_metrics",

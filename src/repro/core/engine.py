@@ -64,6 +64,19 @@ class ConfigurationError(RuntimeError):
     """Raised when no feasible encoding exists for the request."""
 
 
+class NotProgrammedError(RuntimeError):
+    """Raised when a search is attempted before any vectors are stored.
+
+    Shared by the engine (``search`` before ``program``/``allocate``)
+    and the :class:`repro.index.FerexIndex` facade (``search`` on an
+    empty index), so callers catch one exception type across the stack.
+    """
+
+
+#: The one pre-program error message, shared by every search entry point.
+_NOT_PROGRAMMED = "program() must be called before search()"
+
+
 @dataclass
 class EngineSearchResult:
     """Search outcome at the application level."""
@@ -150,6 +163,9 @@ class FeReX:
         self._seed = seed
         self.array: Optional[FeReXArray] = None
         self.stored: Optional[np.ndarray] = None
+        #: Per-row occupancy; rows allocated but not yet written hold a
+        #: placeholder in ``stored`` and must not be read as data.
+        self._row_written: Optional[np.ndarray] = None
 
         # Precomputed per-value lookup tables for fast vector mapping.
         n_values = self.dm.n_stored
@@ -259,42 +275,101 @@ class FeReX:
     # ------------------------------------------------------------------
     # Programming
     # ------------------------------------------------------------------
-    def program(self, vectors: np.ndarray) -> None:
-        """Write the stored vectors into a freshly built crossbar.
-
-        ``vectors`` is (n_vectors, dims) with integer entries in
-        ``[0, 2**bits)``.
-        """
+    def _validate_vectors(self, vectors: np.ndarray) -> np.ndarray:
         vectors = np.asarray(vectors, dtype=int)
         if vectors.ndim != 2 or vectors.shape[1] != self.dims:
             raise ValueError(
                 f"expected (n, {self.dims}) vectors, got {vectors.shape}"
             )
-        if vectors.min() < 0 or vectors.max() >= self.n_values:
+        if vectors.size and (
+            vectors.min() < 0 or vectors.max() >= self.n_values
+        ):
             raise ValueError(
                 f"vector values outside [0, {self.n_values})"
             )
-        rows = vectors.shape[0]
-        if rows < 1:
-            raise ValueError("need at least one stored vector")
+        return vectors
 
-        variation = self._variation
-        if variation is None and self._seed is not None:
-            sampler = VariationSampler(
-                self.tech.variation, seed=self._seed
-            )
-            variation = sampler.sample_array(rows, self.physical_cols)
-
-        self.array = FeReXArray(
+    def _build_array(
+        self, rows: int, variation: Optional[ArrayVariation]
+    ) -> FeReXArray:
+        if variation is None:
+            variation = self._variation
+            if variation is None and self._seed is not None:
+                sampler = VariationSampler(
+                    self.tech.variation, seed=self._seed
+                )
+                variation = sampler.sample_array(rows, self.physical_cols)
+        return FeReXArray(
             rows=rows,
             physical_cols=self.physical_cols,
             tech=self.tech,
             variation=variation,
             cell_fanout=self.encoding.k,
         )
+
+    def program(self, vectors: np.ndarray) -> None:
+        """Write the stored vectors into a freshly built crossbar.
+
+        ``vectors`` is (n_vectors, dims) with integer entries in
+        ``[0, 2**bits)``.
+        """
+        vectors = self._validate_vectors(vectors)
+        rows = vectors.shape[0]
+        if rows < 1:
+            raise ValueError("need at least one stored vector")
+
+        self.array = self._build_array(rows, None)
         levels = self._store_lut[vectors].reshape(rows, self.physical_cols)
         self.array.program_matrix(levels)
         self.stored = vectors.copy()
+        self._row_written = np.ones(rows, dtype=bool)
+
+    def allocate(
+        self,
+        capacity: int,
+        variation: Optional[ArrayVariation] = None,
+    ) -> None:
+        """Build an erased array of ``capacity`` rows for incremental
+        writes.
+
+        Unlike :meth:`program`, no vectors are stored yet: rows are
+        filled later through :meth:`write_rows`, which is how an index
+        bank admits vectors as they arrive.  Unwritten rows sit in the
+        erased (highest-threshold) state and must be masked out of the
+        LTA competition via ``active_rows`` when searching — an erased
+        row leaks less than any programmed row and would otherwise win.
+
+        ``variation`` overrides the engine's own variation source for
+        this allocation (the index slices one full-capacity sample so
+        results are invariant to the allocation history).
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.array = self._build_array(capacity, variation)
+        self.stored = np.zeros((capacity, self.dims), dtype=int)
+        self._row_written = np.zeros(capacity, dtype=bool)
+
+    def write_rows(self, start: int, vectors: np.ndarray) -> None:
+        """Program ``vectors`` into rows ``start ..`` of the allocated
+        array without touching other rows (the crossbar's row-level
+        incremental write path, :meth:`FeReXArray.program_rows`)."""
+        if self.array is None:
+            raise NotProgrammedError(
+                "allocate() or program() must be called before write_rows()"
+            )
+        vectors = self._validate_vectors(vectors)
+        n = vectors.shape[0]
+        if n < 1:
+            raise ValueError("need at least one vector to write")
+        if not 0 <= start or start + n > self.array.rows:
+            raise ValueError(
+                f"row span [{start}, {start + n}) outside "
+                f"[0, {self.array.rows})"
+            )
+        levels = self._store_lut[vectors].reshape(n, self.physical_cols)
+        self.array.program_rows(start, levels)
+        self.stored[start : start + n] = vectors
+        self._row_written[start : start + n] = True
 
     # ------------------------------------------------------------------
     # Search
@@ -314,7 +389,7 @@ class FeReX:
     def search(self, query: Sequence[int]) -> EngineSearchResult:
         """Nearest-neighbor search for one query vector."""
         if self.array is None:
-            raise RuntimeError("program() must be called before search()")
+            raise NotProgrammedError(_NOT_PROGRAMMED)
         sl, dl = self._query_bias(query)
         result = self.array.search(sl, dl)
         return EngineSearchResult(
@@ -335,7 +410,11 @@ class FeReX:
             raise ValueError(f"query values outside [0, {self.n_values})")
         return queries
 
-    def search_batch(self, queries: np.ndarray):
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        active_rows: Optional[np.ndarray] = None,
+    ):
         """Vectorised nearest-neighbor search over a query batch.
 
         Returns a :class:`repro.arch.crossbar.BatchSearchResult` whose
@@ -343,29 +422,40 @@ class FeReX:
         :meth:`search` (same per-cell physics, same vectorised LTA
         decision path) but orders of magnitude faster to simulate: the
         query batch rides the array's bias-alphabet fast path
-        (:meth:`FeReXArray.search_batch_values`).
+        (:meth:`FeReXArray.search_batch_values`).  ``active_rows``
+        optionally masks rows out of the LTA competition (unwritten
+        capacity, tombstones).
         """
         if self.array is None:
-            raise RuntimeError("program() must be called before search")
+            raise NotProgrammedError(_NOT_PROGRAMMED)
         queries = self._validate_query_batch(queries)
         return self.array.search_batch_values(
-            self._sl_value_table, self._dl_value_table, queries
+            self._sl_value_table, self._dl_value_table, queries,
+            active_rows=active_rows,
         )
 
-    def search_k_batch(self, queries: np.ndarray, k: int):
+    def search_k_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        active_rows: Optional[np.ndarray] = None,
+    ):
         """Vectorised k-nearest search over a query batch.
 
         The batched counterpart of :meth:`search_k`: per query, the LTA
         decides ``k`` rounds with each round's winner masked out.
         Returns a :class:`repro.arch.crossbar.BatchSearchKResult` with
         (n, k) winners (nearest first) and the full (n, rows) hardware
-        distance readings.
+        distance readings.  ``active_rows`` optionally pre-masks rows
+        out of every round; ``k`` is then bounded by the number of
+        competing rows.
         """
         if self.array is None:
-            raise RuntimeError("program() must be called before search")
+            raise NotProgrammedError(_NOT_PROGRAMMED)
         queries = self._validate_query_batch(queries)
         return self.array.search_k_batch_values(
-            self._sl_value_table, self._dl_value_table, queries, k
+            self._sl_value_table, self._dl_value_table, queries, k,
+            active_rows=active_rows,
         )
 
     def search_k(
@@ -373,7 +463,7 @@ class FeReX:
     ) -> List[EngineSearchResult]:
         """k-nearest search via iterative LTA masking."""
         if self.array is None:
-            raise RuntimeError("program() must be called before search()")
+            raise NotProgrammedError(_NOT_PROGRAMMED)
         sl, dl = self._query_bias(query)
         results = self.array.search_k(sl, dl, k)
         return [
@@ -390,9 +480,20 @@ class FeReX:
     # ------------------------------------------------------------------
     def software_distances(self, query: Sequence[int]) -> np.ndarray:
         """Exact digital distances to every stored vector (the baseline
-        hardware accuracy is judged against)."""
+        hardware accuracy is judged against).
+
+        Requires a fully written array: on a partially filled
+        allocation the placeholder rows are not data, and reporting
+        distances to them would corrupt accuracy comparisons.
+        """
         if self.stored is None:
-            raise RuntimeError("program() must be called first")
+            raise NotProgrammedError("program() must be called first")
+        if not self._row_written.all():
+            raise NotProgrammedError(
+                "software_distances() needs every row written; only "
+                f"{int(self._row_written.sum())} of "
+                f"{len(self._row_written)} rows are"
+            )
         query = np.asarray(query, dtype=int).reshape(1, -1)
         return self.metric.pairwise(query, self.stored, self.bits)[0]
 

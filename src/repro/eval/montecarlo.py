@@ -16,7 +16,9 @@ This module provides the seeded harness:
   instances and reports the search accuracy (fraction of runs whose LTA
   winner is the true nearest row);
 * :class:`MonteCarloKNNAccuracy` compares end-to-end KNN classification
-  accuracy between the software baseline and varied hardware.
+  accuracy between the software baseline and varied hardware; all
+  neighbor search runs through the shared :class:`repro.index.FerexIndex`
+  layer (no experiment-private bank plumbing).
 """
 
 from __future__ import annotations
@@ -188,10 +190,11 @@ class MonteCarloKNNAccuracy:
         """Fit both backends on identical data and report the accuracy
         delta caused by hardware variation.
 
-        Both backends classify the whole test set through the batched
-        :meth:`KNNClassifier.predict` path (one pairwise call for
-        software, per-bank ``search_k_batch`` for hardware), which is
-        what makes paper-sized Monte Carlo sweeps tractable.
+        Both classifiers delegate neighbor search to a
+        :class:`repro.index.FerexIndex` (exact backend for software,
+        sharded array banks for hardware), so the whole test set flows
+        through one batched index search per backend — which is what
+        makes paper-sized Monte Carlo sweeps tractable.
         """
         software = KNNClassifier(
             metric=self.metric, bits=self.bits, k=self.k,

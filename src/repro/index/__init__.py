@@ -1,0 +1,26 @@
+"""Vector-index layer: the production-shaped search API over FeReX.
+
+:class:`FerexIndex` is the facade every application-level consumer
+(KNN, HDC inference, Monte Carlo sweeps) searches through; the
+:class:`SearchBackend` protocol makes the execution substrate pluggable
+(sharded FeReX banks, exact software, GPU roofline baseline).
+"""
+
+from .backends import (
+    BACKENDS,
+    ExactBackend,
+    FerexBackend,
+    GPUBackend,
+    SearchBackend,
+)
+from .index import FerexIndex, SearchOutcome
+
+__all__ = [
+    "BACKENDS",
+    "ExactBackend",
+    "FerexBackend",
+    "FerexIndex",
+    "GPUBackend",
+    "SearchBackend",
+    "SearchOutcome",
+]

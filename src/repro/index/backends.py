@@ -1,0 +1,394 @@
+"""Pluggable search backends for :class:`repro.index.FerexIndex`.
+
+A backend is a *position-space* nearest-neighbor engine: the index owns
+ids and the canonical vector store; the backend answers ``search`` with
+global insertion positions, and is told about every mutation through the
+same three verbs the index exposes (``add`` / ``deactivate`` /
+``rebuild``).  Three implementations ship:
+
+* :class:`FerexBackend` — sharded banks of :class:`repro.core.FeReX`
+  engines.  Vectors fill a bank row by row through the crossbar's
+  incremental write path (:meth:`FeReXArray.program_rows`); when a bank
+  reaches ``bank_rows`` capacity the next one opens.  Searches ride the
+  batched ``search_k_batch`` fast path per bank, with unoccupied
+  capacity and tombstoned rows masked out of the LTA competition, and
+  bank candidates merge through one vectorised lexsort on
+  (analog distance, global position) — exactly how a multi-bank FeFET
+  CAM deployment composes its LTA outputs.
+* :class:`ExactBackend` — the exact software reference
+  (:meth:`DistanceMetric.pairwise`), the baseline hardware winners are
+  validated against.
+* :class:`GPUBackend` — exact winners plus a roofline latency/energy
+  estimate of the equivalent GPU kernel
+  (:class:`repro.eval.gpu_model.GPUCostModel`), for paper-style
+  FeReX-vs-GPU comparisons on real query streams.
+
+Memory note
+-----------
+Backends mirror the vectors the index stores canonically (and the ferex
+path additionally keeps each bank engine's ``stored`` copy): at
+simulation scale this duplication is trivial next to the per-cell device
+state, and it keeps the backend protocol free of callbacks into the
+index.  A zero-copy view protocol is the obvious refactor if
+million-row indexes ever become the target.
+
+Variation discipline
+--------------------
+Under a seed, bank ``b`` samples its full-capacity variation once
+(``seed + b``, the same per-bank scheme the KNN classifier used) and
+every allocation slices a prefix of that sample.  Row ``r`` of a bank
+therefore carries the same device instance no matter how the bank grew,
+which is what makes incremental ``add`` bit-identical to one-shot
+programming and ``save``/``load`` round trips exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..core.distance import DistanceMetric, get_metric
+from ..core.engine import FeReX
+from ..devices.variation import ArrayVariation, VariationSampler
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """What :class:`repro.index.FerexIndex` requires of a backend.
+
+    Positions are global insertion-order indices into the index's vector
+    store (tombstoned rows keep their position until ``rebuild``).
+    """
+
+    #: Registry key used by persistence (``save`` stores it, ``load``
+    #: reconstructs the backend from it).
+    name: str
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Append (n, dims) vectors at the next free positions."""
+        ...
+
+    def deactivate(self, positions: np.ndarray) -> None:
+        """Tombstone the given positions: they stay physically present
+        but never compete in a search again."""
+        ...
+
+    def rebuild(self, vectors: np.ndarray) -> None:
+        """Drop everything and re-add ``vectors`` from position 0 (the
+        ``compact`` re-program)."""
+        ...
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(n, k) global positions and distances, nearest first.  ``k``
+        never exceeds the number of live positions."""
+        ...
+
+
+class ExactBackend:
+    """Exact software search over the live vector set.
+
+    One :meth:`DistanceMetric.pairwise` call per batch; candidates order
+    by (distance, position) via a stable argsort, the same tie-break the
+    multi-bank analog merge uses.
+    """
+
+    name = "exact"
+
+    def __init__(
+        self, metric: "str | DistanceMetric", bits: int, dims: int
+    ):
+        self.metric = (
+            get_metric(metric) if isinstance(metric, str) else metric
+        )
+        self.bits = bits
+        self.dims = dims
+        self._vectors = np.empty((0, dims), dtype=int)
+        self._alive = np.empty(0, dtype=bool)
+
+    def add(self, vectors: np.ndarray) -> None:
+        self._vectors = np.concatenate([self._vectors, vectors])
+        self._alive = np.concatenate(
+            [self._alive, np.ones(len(vectors), dtype=bool)]
+        )
+
+    def deactivate(self, positions: np.ndarray) -> None:
+        self._alive[positions] = False
+
+    def rebuild(self, vectors: np.ndarray) -> None:
+        self._vectors = np.array(vectors, dtype=int)
+        self._alive = np.ones(len(vectors), dtype=bool)
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        live = np.flatnonzero(self._alive)
+        distances = self.metric.pairwise(
+            queries, self._vectors[live], self.bits
+        ).astype(float)
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+        return (
+            live[order],
+            np.take_along_axis(distances, order, axis=1),
+        )
+
+
+class GPUBackend(ExactBackend):
+    """Exact winners plus a GPU roofline cost estimate per search.
+
+    Winners and distances are those of :class:`ExactBackend`; every
+    ``search`` additionally prices the equivalent batched GPU distance
+    kernel on the configured :class:`repro.eval.gpu_model.GPUSpec` and
+    stores it as :attr:`last_estimate`, so serving experiments read
+    paper-style latency/energy baselines off the same query stream.
+    """
+
+    name = "gpu"
+
+    def __init__(
+        self,
+        metric: "str | DistanceMetric",
+        bits: int,
+        dims: int,
+        spec=None,
+        batch_size: int = 256,
+    ):
+        super().__init__(metric, bits, dims)
+        # Imported lazily: repro.eval.__init__ pulls in the application
+        # layer, which itself imports this module at class-definition
+        # time — a function-level import breaks the cycle.
+        from ..eval.gpu_model import GPUCostModel, GPUSpec
+
+        self.cost_model = GPUCostModel(spec or GPUSpec())
+        self.batch_size = batch_size
+        #: Roofline estimate of the most recent search (None before the
+        #: first one).
+        self.last_estimate = None
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        positions, distances = super().search(queries, k)
+        # XOR + popcount for Hamming, subtract/abs-or-square/accumulate
+        # for the L1/L2 family.
+        flops = 2.0 if self.metric.name == "hamming" else 3.0
+        self.last_estimate = self.cost_model.distance_search(
+            n_queries=max(1, len(queries)),
+            n_stored=max(1, int(self._alive.sum())),
+            dims=self.dims,
+            flops_per_element=flops,
+            batch_size=self.batch_size,
+        )
+        return positions, distances
+
+
+@dataclass
+class _Bank:
+    """One physical shard: a FeReX engine plus its occupancy state."""
+
+    engine: FeReX
+    #: Maximum rows this bank ever holds (the shard height).
+    capacity: int
+    #: Global position of this bank's row 0.
+    start: int
+    #: Vectors physically written, in row order (tombstones included).
+    vectors: np.ndarray
+    #: Per written row: does it still compete?
+    alive: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    #: Full-capacity variation sample the allocations slice (None =
+    #: ideal devices).
+    variation: Optional[ArrayVariation] = None
+
+    @property
+    def written(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def space(self) -> int:
+        return self.capacity - self.written
+
+    def active_rows(self) -> np.ndarray:
+        """(array rows,) LTA competition mask: written, live rows only."""
+        mask = np.zeros(self.engine.array.rows, dtype=bool)
+        mask[: self.written] = self.alive
+        return mask
+
+
+def _slice_variation(
+    variation: Optional[ArrayVariation], rows: int
+) -> Optional[ArrayVariation]:
+    """Prefix-slice a full-capacity variation sample to an allocation."""
+    if variation is None:
+        return None
+    return ArrayVariation(
+        vth_offset=variation.vth_offset[:rows],
+        r_factor=variation.r_factor[:rows],
+        lta_offset=variation.lta_offset[:rows],
+        row_gain=variation.row_gain[:rows],
+    )
+
+
+class FerexBackend:
+    """Sharded multi-bank FeReX search backend.
+
+    Parameters mirror :class:`repro.core.FeReX`; ``bank_rows`` is the
+    shard height (the physical array capacity of each bank).  ``seed``
+    seeds device variation per bank (``seed + bank_index``); ``None``
+    keeps ideal devices.
+    """
+
+    name = "ferex"
+
+    def __init__(
+        self,
+        metric: "str | DistanceMetric",
+        bits: int,
+        dims: int,
+        bank_rows: int = 1024,
+        encoder: str = "auto",
+        seed: Optional[int] = None,
+    ):
+        if bank_rows < 1:
+            raise ValueError("bank_rows must be >= 1")
+        self.metric = metric
+        self.bits = bits
+        self.dims = dims
+        self.bank_rows = bank_rows
+        self.encoder = encoder
+        self.seed = seed
+        self._banks: List[_Bank] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_banks(self) -> int:
+        return len(self._banks)
+
+    @property
+    def engines(self) -> List[FeReX]:
+        """The per-bank engines (read-only introspection)."""
+        return [bank.engine for bank in self._banks]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _open_bank(self) -> _Bank:
+        index = len(self._banks)
+        engine = FeReX(
+            metric=self.metric,
+            bits=self.bits,
+            dims=self.dims,
+            encoder=self.encoder,
+        )
+        variation = None
+        if self.seed is not None:
+            sampler = VariationSampler(
+                engine.tech.variation, seed=self.seed + index
+            )
+            variation = sampler.sample_array(
+                self.bank_rows, engine.physical_cols
+            )
+        bank = _Bank(
+            engine=engine,
+            capacity=self.bank_rows,
+            start=index * self.bank_rows,
+            vectors=np.empty((0, self.dims), dtype=int),
+            alive=np.empty(0, dtype=bool),
+            variation=variation,
+        )
+        self._banks.append(bank)
+        return bank
+
+    def _write(self, bank: _Bank, vectors: np.ndarray) -> None:
+        """Admit ``vectors`` into a bank, growing its array if needed.
+
+        While the allocated array has spare rows the new vectors go in
+        through the crossbar's row-level incremental program; when it
+        does not, the array is re-allocated (geometric growth, capped at
+        the bank capacity) with the *same* sliced variation sample and
+        every written row re-programmed — results are identical either
+        way because each row's device instance is fixed by its position.
+        """
+        old = bank.written
+        total = old + len(vectors)
+        array = bank.engine.array
+        if array is None or array.rows < total:
+            alloc = min(bank.capacity, max(total, 2 * old))
+            bank.engine.allocate(
+                alloc, variation=_slice_variation(bank.variation, alloc)
+            )
+            bank.vectors = np.concatenate([bank.vectors, vectors])
+            bank.engine.write_rows(0, bank.vectors)
+        else:
+            bank.vectors = np.concatenate([bank.vectors, vectors])
+            bank.engine.write_rows(old, vectors)
+        bank.alive = np.concatenate(
+            [bank.alive, np.ones(len(vectors), dtype=bool)]
+        )
+
+    def add(self, vectors: np.ndarray) -> None:
+        i = 0
+        while i < len(vectors):
+            bank = self._banks[-1] if self._banks else None
+            if bank is None or bank.space == 0:
+                bank = self._open_bank()
+            take = min(bank.space, len(vectors) - i)
+            self._write(bank, vectors[i : i + take])
+            i += take
+
+    def deactivate(self, positions: np.ndarray) -> None:
+        for position in np.asarray(positions, dtype=int):
+            bank = self._banks[int(position) // self.bank_rows]
+            bank.alive[int(position) - bank.start] = False
+
+    def rebuild(self, vectors: np.ndarray) -> None:
+        self._banks = []
+        if len(vectors):
+            self.add(np.asarray(vectors, dtype=int))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bank batched ``search_k`` + vectorised lexsort merge.
+
+        Each bank contributes its ``min(k, live rows)`` nearest rows per
+        query from one :meth:`FeReX.search_k_batch` call (unwritten and
+        tombstoned rows masked out of the LTA); candidates merge on
+        (analog distance, global position) — lexsort's last key is
+        primary, and the position tie-break matches the exact backend's
+        stable ordering.
+        """
+        bank_idx: List[np.ndarray] = []
+        bank_dist: List[np.ndarray] = []
+        for bank in self._banks:
+            active = bank.active_rows()
+            n_live = int(active.sum())
+            if n_live == 0:
+                continue
+            result = bank.engine.search_k_batch(
+                queries, min(k, n_live), active_rows=active
+            )
+            bank_idx.append(bank.start + result.winners)
+            bank_dist.append(
+                np.take_along_axis(result.row_units, result.winners, axis=1)
+            )
+        idx = np.concatenate(bank_idx, axis=1)
+        dist = np.concatenate(bank_dist, axis=1)
+        order = np.lexsort((idx, dist))[:, :k]
+        return (
+            np.take_along_axis(idx, order, axis=1),
+            np.take_along_axis(dist, order, axis=1),
+        )
+
+
+#: Backend registry used by the index facade and by persistence.
+BACKENDS = {
+    ExactBackend.name: ExactBackend,
+    GPUBackend.name: GPUBackend,
+    FerexBackend.name: FerexBackend,
+}

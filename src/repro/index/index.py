@@ -1,0 +1,359 @@
+"""The :class:`FerexIndex` facade: a vector-database-style API over
+sharded FeReX banks.
+
+The paper deploys FeReX as an associative-memory accelerator serving
+nearest-neighbor queries at scale (Fig. 7 Monte Carlo KNN, Fig. 8 HDC
+inference).  This module packages that deployment story as a first-class
+index:
+
+>>> import numpy as np
+>>> from repro.index import FerexIndex
+>>> index = FerexIndex(dims=8, metric="hamming", bits=2, bank_rows=16)
+>>> rng = np.random.default_rng(0)
+>>> ids = index.add(rng.integers(0, 4, size=(40, 8)))   # 3 banks open
+>>> ids2 = index.add(rng.integers(0, 4, size=(5, 8)))   # tail bank grows
+>>> result = index.search(rng.integers(0, 4, size=(10, 8)), k=3)
+>>> result.ids.shape
+(10, 3)
+
+Incremental ``add`` reuses the crossbar's row-level write path and is
+bit-identical to one-shot programming; ``remove`` tombstones rows out of
+the LTA competition until ``compact`` physically re-programs the live
+set; ``save``/``load`` persist stored vectors, encoding configuration
+and variation seeds so an index survives process restarts with
+bit-identical search results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import NamedTuple, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.distance import DistanceMetric
+from ..core.engine import NotProgrammedError
+from .backends import BACKENDS, FerexBackend, SearchBackend
+
+#: Bumped when the on-disk layout changes.
+_FORMAT_VERSION = 1
+
+
+class SearchOutcome(NamedTuple):
+    """Uniform batch search result: unpacks as ``ids, distances``."""
+
+    #: (n_queries, k) ids of the nearest stored vectors, nearest first.
+    ids: np.ndarray
+    #: (n_queries, k) distances — analog unit currents for the ferex
+    #: backend, exact integer distances (as floats) for exact/gpu.
+    distances: np.ndarray
+
+
+class FerexIndex:
+    """Sharded multi-bank vector index with pluggable search backends.
+
+    Parameters
+    ----------
+    dims / metric / bits:
+        Vector geometry and the configured distance function (any
+        registered metric name or a :class:`DistanceMetric`).
+    backend:
+        ``"ferex"`` (sharded array simulation — the default), ``"exact"``
+        (software reference), ``"gpu"`` (exact winners + roofline
+        estimates), or a ready :class:`SearchBackend` instance.
+    bank_rows:
+        Shard height: vectors per physical array bank (ferex backend).
+    encoder / seed:
+        Passed to the per-bank engines; ``seed`` enables device
+        variation (bank ``b`` uses ``seed + b``), ``None`` keeps ideal
+        devices.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        metric: "str | DistanceMetric" = "hamming",
+        bits: int = 2,
+        backend: Union[str, SearchBackend] = "ferex",
+        bank_rows: int = 1024,
+        encoder: str = "auto",
+        seed: Optional[int] = None,
+    ):
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if bank_rows < 1:
+            raise ValueError("bank_rows must be >= 1")
+        self.dims = dims
+        self.metric = metric
+        self.bits = bits
+        self.bank_rows = bank_rows
+        self.encoder = encoder
+        self.seed = seed
+        #: Registry kind when the index built the backend itself; None
+        #: for caller-supplied instances (whose configuration the index
+        #: cannot see, so it refuses to persist them).
+        self._backend_kind = backend if isinstance(backend, str) else None
+        self._backend = self._make_backend(backend)
+        self._vectors = np.empty((0, dims), dtype=int)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._alive = np.empty(0, dtype=bool)
+        self._id_to_pos: dict = {}
+        self._next_id = 0
+
+    def _make_backend(
+        self, backend: Union[str, SearchBackend]
+    ) -> SearchBackend:
+        if not isinstance(backend, str):
+            return backend
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+            )
+        if backend == "ferex":
+            return FerexBackend(
+                metric=self.metric,
+                bits=self.bits,
+                dims=self.dims,
+                bank_rows=self.bank_rows,
+                encoder=self.encoder,
+                seed=self.seed,
+            )
+        return BACKENDS[backend](self.metric, self.bits, self.dims)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> SearchBackend:
+        """The live backend instance."""
+        return self._backend
+
+    @property
+    def ntotal(self) -> int:
+        """Number of live (searchable) vectors."""
+        return int(self._alive.sum())
+
+    @property
+    def n_banks(self) -> int:
+        """Physical banks behind the index (0 for unbanked backends)."""
+        return getattr(self._backend, "n_banks", 0)
+
+    def __len__(self) -> int:
+        return self.ntotal
+
+    def __repr__(self) -> str:
+        name = getattr(self._backend, "name", type(self._backend).__name__)
+        return (
+            f"FerexIndex(dims={self.dims}, metric={self._metric_name()!r}, "
+            f"bits={self.bits}, backend={name!r}, ntotal={self.ntotal})"
+        )
+
+    def _metric_name(self) -> str:
+        return (
+            self.metric if isinstance(self.metric, str) else self.metric.name
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _validate_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=int)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dims:
+            raise ValueError(
+                f"expected (n, {self.dims}) vectors, got {vectors.shape}"
+            )
+        hi = 1 << self.bits
+        if vectors.size and (vectors.min() < 0 or vectors.max() >= hi):
+            raise ValueError(f"vector values outside [0, {hi})")
+        return vectors
+
+    def add(
+        self,
+        vectors: np.ndarray,
+        ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Store vectors, opening new banks as capacity fills.
+
+        Returns the assigned ids (auto-assigned sequentially unless
+        given).  Incremental calls are bit-identical to one big call:
+        each vector's physical row — and its sampled device variation —
+        is fixed by its insertion position alone.
+        """
+        vectors = self._validate_vectors(vectors)
+        n = len(vectors)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"expected {n} ids, got shape {ids.shape}")
+            if len(np.unique(ids)) != n:
+                raise ValueError("ids must be unique")
+            clashes = [int(i) for i in ids if int(i) in self._id_to_pos]
+            if clashes:
+                raise ValueError(f"ids already in the index: {clashes[:5]}")
+        # Backend first: if it fails (e.g. ConfigurationError while the
+        # first bank's cell encoding is solved), the index bookkeeping
+        # must not report vectors the backend never admitted.
+        self._backend.add(vectors)
+        start = len(self._vectors)
+        self._vectors = np.concatenate([self._vectors, vectors])
+        self._ids = np.concatenate([self._ids, ids])
+        self._alive = np.concatenate([self._alive, np.ones(n, dtype=bool)])
+        for offset, id_ in enumerate(ids):
+            self._id_to_pos[int(id_)] = start + offset
+        self._next_id = max(self._next_id, int(ids.max()) + 1)
+        return ids
+
+    def remove(self, ids: Sequence[int]) -> int:
+        """Tombstone vectors by id: their rows stay programmed but are
+        masked out of every subsequent LTA competition.  Returns the
+        number removed; unknown or repeated ids raise ``KeyError``
+        before anything mutates."""
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        if len(np.unique(ids)) != len(ids):
+            raise KeyError("duplicate ids in remove request")
+        positions = []
+        for id_ in ids:
+            if int(id_) not in self._id_to_pos:
+                raise KeyError(f"id {int(id_)} not in the index")
+            positions.append(self._id_to_pos[int(id_)])
+        for id_ in ids:
+            del self._id_to_pos[int(id_)]
+        positions = np.asarray(positions, dtype=int)
+        self._alive[positions] = False
+        self._backend.deactivate(positions)
+        return len(positions)
+
+    def compact(self) -> None:
+        """Physically re-program the live set, reclaiming tombstoned
+        rows.  Ids survive; positions (and therefore per-row variation
+        instances) are reassigned."""
+        live = np.flatnonzero(self._alive)
+        self._vectors = self._vectors[live]
+        self._ids = self._ids[live]
+        self._alive = np.ones(len(live), dtype=bool)
+        self._id_to_pos = {
+            int(id_): pos for pos, id_ in enumerate(self._ids)
+        }
+        self._backend.rebuild(self._vectors)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int = 1) -> SearchOutcome:
+        """Batch k-nearest search: (n, dims) queries to a
+        :class:`SearchOutcome` of (n, k') ids and distances, where
+        ``k' = min(k, ntotal)``."""
+        if self.ntotal == 0:
+            raise NotProgrammedError(
+                "add() must be called before search(): the index is empty"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = self._validate_vectors(queries)
+        k_eff = min(k, self.ntotal)
+        if len(queries) == 0:
+            return SearchOutcome(
+                ids=np.empty((0, k_eff), dtype=np.int64),
+                distances=np.empty((0, k_eff)),
+            )
+        positions, distances = self._backend.search(queries, k_eff)
+        return SearchOutcome(ids=self._ids[positions], distances=distances)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Persist the index to ``path`` (numpy ``.npz``).
+
+        Stored: every physically written vector (tombstones included, so
+        bank layout — and with it each row's variation draw — survives),
+        ids, liveness, and the full configuration (metric, bits,
+        encoding mode, bank geometry, variation seed).  Only backends
+        the index constructed itself (a registry kind: ferex/exact/gpu)
+        can be persisted — a caller-supplied instance may carry
+        configuration the index-level metadata does not describe, and a
+        silently different reload would break the bit-identity
+        guarantee.
+        """
+        if self._backend_kind is None:
+            raise ValueError(
+                "only index-constructed backends (backend='ferex'/'exact'/"
+                "'gpu') can be saved; this index wraps a caller-supplied "
+                f"{type(self._backend).__name__} instance whose "
+                "configuration save() cannot see"
+            )
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "dims": self.dims,
+            "metric": self._metric_name(),
+            "bits": self.bits,
+            "backend": self._backend_kind,
+            "bank_rows": self.bank_rows,
+            "encoder": self.encoder,
+            "seed": self.seed,
+            "next_id": self._next_id,
+        }
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            vectors=self._vectors,
+            ids=self._ids,
+            alive=self._alive,
+        )
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FerexIndex":
+        """Rebuild an index saved with :meth:`save`.
+
+        Vectors re-program through the identical deterministic write
+        path (same positions, same per-bank variation seeds), so search
+        results are bit-identical to the index that was saved.
+
+        Accepts the same path that was given to :meth:`save`:
+        ``np.savez_compressed`` appends ``.npz`` when missing, so load
+        mirrors that rule.
+        """
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            vectors = data["vectors"]
+            ids = data["ids"]
+            alive = data["alive"]
+        if meta["format_version"] > _FORMAT_VERSION:
+            raise ValueError(
+                f"index file format {meta['format_version']} is newer than "
+                f"this library ({_FORMAT_VERSION})"
+            )
+        index = cls(
+            dims=meta["dims"],
+            metric=meta["metric"],
+            bits=meta["bits"],
+            backend=meta["backend"],
+            bank_rows=meta["bank_rows"],
+            encoder=meta["encoder"],
+            seed=meta["seed"],
+        )
+        index._vectors = vectors.astype(int)
+        index._ids = ids.astype(np.int64)
+        index._alive = alive.astype(bool)
+        index._id_to_pos = {
+            int(id_): pos
+            for pos, (id_, live) in enumerate(zip(index._ids, index._alive))
+            if live
+        }
+        index._next_id = meta["next_id"]
+        if len(vectors):
+            index._backend.add(index._vectors)
+            dead = np.flatnonzero(~index._alive)
+            if len(dead):
+                index._backend.deactivate(dead)
+        return index

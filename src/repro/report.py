@@ -37,6 +37,7 @@ ARTIFACT_ORDER = [
     "ext_write_path",
     "ext_saturating",
     "batch_throughput",
+    "index_scaling",
 ]
 
 

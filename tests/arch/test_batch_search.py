@@ -138,6 +138,74 @@ class TestBatchEdgeCases:
             engine.search_k_batch(queries, engine.array.rows + 1)
 
 
+class TestActiveRowMasking:
+    """Batch-path winner masking: parity with the serial masked search."""
+
+    def test_masked_rows_never_win(self, engine, rng):
+        queries = rng.integers(0, 4, size=(20, 8))
+        active = np.ones(engine.array.rows, dtype=bool)
+        banned = {1, 4, 7}
+        active[list(banned)] = False
+        batch = engine.search_batch(queries, active_rows=active)
+        assert not set(batch.winners.tolist()) & banned
+
+    def test_matches_serial_masked_search(self, engine, rng):
+        queries = rng.integers(0, 4, size=(12, 8))
+        active = np.ones(engine.array.rows, dtype=bool)
+        active[[0, 2, 9]] = False
+        batch = engine.search_batch(queries, active_rows=active)
+        for i, q in enumerate(queries):
+            sl, dl = engine._query_bias(q)
+            serial = engine.array.search(sl, dl, active_rows=active)
+            assert batch.winners[i] == serial.winner
+
+    def test_search_k_batch_masked(self, engine, rng):
+        queries = rng.integers(0, 4, size=(8, 8))
+        active = np.ones(engine.array.rows, dtype=bool)
+        active[:6] = False  # 6 of 12 rows out of the competition
+        batch = engine.search_k_batch(queries, 3, active_rows=active)
+        assert batch.winners.min() >= 6
+        # winners distinct per query
+        for row in batch.winners:
+            assert len(set(row.tolist())) == 3
+
+    def test_row_units_unaffected_by_mask(self, engine, rng):
+        """Masking disables LTA branches; the analog readings stay."""
+        queries = rng.integers(0, 4, size=(5, 8))
+        active = np.ones(engine.array.rows, dtype=bool)
+        active[3] = False
+        masked = engine.search_batch(queries, active_rows=active)
+        unmasked = engine.search_batch(queries)
+        assert np.array_equal(masked.row_units, unmasked.row_units)
+
+    def test_k_bounded_by_competing_rows(self, engine, rng):
+        queries = rng.integers(0, 4, size=(2, 8))
+        active = np.zeros(engine.array.rows, dtype=bool)
+        active[:4] = True
+        engine.search_k_batch(queries, 4, active_rows=active)  # fine
+        with pytest.raises(ValueError):
+            engine.search_k_batch(queries, 5, active_rows=active)
+
+    def test_mask_shape_validated(self, engine, rng):
+        queries = rng.integers(0, 4, size=(2, 8))
+        with pytest.raises(ValueError):
+            engine.search_batch(
+                queries, active_rows=np.ones(3, dtype=bool)
+            )
+
+    def test_all_masked_rejected(self, engine, rng):
+        """An empty competition must fail loudly, not crown row 0."""
+        queries = rng.integers(0, 4, size=(2, 8))
+        dead = np.zeros(engine.array.rows, dtype=bool)
+        with pytest.raises(ValueError):
+            engine.search_batch(queries, active_rows=dead)
+        with pytest.raises(ValueError):
+            engine.search_k_batch(queries, 1, active_rows=dead)
+        sl, dl = engine._query_bias(queries[0])
+        with pytest.raises(ValueError):
+            engine.array.search(sl, dl, active_rows=dead)
+
+
 class TestBiasTableCache:
     def test_cache_invalidated_by_reprogram(self, engine, rng):
         queries = rng.integers(0, 4, size=(4, 8))

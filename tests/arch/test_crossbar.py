@@ -134,6 +134,58 @@ class TestProgramMatrixFastPath:
         assert arr.cells == 2
 
 
+class TestProgramRowsSlice:
+    """program_rows: the row-level incremental write path."""
+
+    def test_matches_per_row_programming(self):
+        rng = np.random.default_rng(5)
+        levels = rng.integers(0, 3, size=(3, 5))
+        fast = FeReXArray(rows=6, physical_cols=5)
+        fast.program_rows(2, levels)
+        slow = FeReXArray(rows=6, physical_cols=5)
+        for i in range(3):
+            slow.program_row(2 + i, levels[i])
+        assert np.array_equal(fast.levels, slow.levels)
+        assert np.array_equal(fast.vth, slow.vth)
+        assert fast.write_energy_total == pytest.approx(
+            slow.write_energy_total
+        )
+        assert fast.disturb_violations == slow.disturb_violations
+
+    def test_other_rows_untouched(self):
+        arr = FeReXArray(rows=4, physical_cols=3)
+        arr.program_matrix(np.zeros((4, 3), dtype=int))
+        vth_before = arr.vth.copy()
+        arr.program_rows(1, np.full((2, 3), 2))
+        assert np.array_equal(arr.vth[[0, 3]], vth_before[[0, 3]])
+        assert np.all(arr.levels[1:3] == 2)
+        assert np.all(arr.levels[[0, 3]] == 0)
+
+    def test_span_validated(self):
+        arr = FeReXArray(rows=3, physical_cols=2)
+        with pytest.raises(ValueError):
+            arr.program_rows(2, np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            arr.program_rows(-1, np.zeros((1, 2), dtype=int))
+        with pytest.raises(ValueError):
+            arr.program_rows(0, np.zeros((0, 2), dtype=int))
+        with pytest.raises(ValueError):
+            arr.program_rows(0, np.zeros((1, 3), dtype=int))
+
+    def test_invalid_levels_leave_array_untouched(self):
+        arr = FeReXArray(rows=3, physical_cols=2)
+        with pytest.raises(ValueError):
+            arr.program_rows(0, np.full((1, 2), 99))
+        assert np.all(arr.levels == -1)
+        assert arr.write_energy_total == 0.0
+
+    def test_invalidates_bias_table_cache(self):
+        arr = table2_array()
+        generation = arr.write_generation
+        arr.program_rows(0, np.array([[1, 1, 1]]))
+        assert arr.write_generation == generation + 1
+
+
 class TestTable2Search:
     """End-to-end: the paper's Table II encoding through the analog
     array reproduces the Fig. 4(a) distance matrix."""

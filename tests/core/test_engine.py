@@ -176,3 +176,109 @@ class TestVariation:
             hw = eng.search(q).hardware_distances
             sw = eng.software_distances(q)
             assert np.abs(hw - sw).max() < 3.0
+
+
+class TestIncrementalWrites:
+    """allocate() + write_rows(): the engine's capacity-then-fill flow."""
+
+    def test_write_rows_equals_program(self, rng):
+        stored = rng.integers(0, 4, size=(10, 6))
+        queries = rng.integers(0, 4, size=(8, 6))
+
+        whole = FeReX(metric="hamming", bits=2, dims=6)
+        whole.program(stored)
+        incremental = FeReX(metric="hamming", bits=2, dims=6)
+        incremental.allocate(10)
+        incremental.write_rows(0, stored[:4])
+        incremental.write_rows(4, stored[4:])
+
+        a = whole.search_batch(queries)
+        b = incremental.search_batch(queries)
+        assert np.array_equal(a.winners, b.winners)
+        assert np.array_equal(a.row_units, b.row_units)
+        assert np.array_equal(incremental.stored, stored)
+
+    def test_unwritten_rows_masked_out(self, rng):
+        engine = FeReX(metric="hamming", bits=2, dims=6)
+        engine.allocate(8)
+        engine.write_rows(0, rng.integers(0, 4, size=(3, 6)))
+        active = np.zeros(8, dtype=bool)
+        active[:3] = True
+        batch = engine.search_batch(
+            rng.integers(0, 4, size=(10, 6)), active_rows=active
+        )
+        assert batch.winners.max() < 3
+
+    def test_write_rows_requires_allocation(self, rng):
+        from repro.core.engine import NotProgrammedError
+
+        engine = FeReX(metric="hamming", bits=2, dims=6)
+        with pytest.raises(NotProgrammedError):
+            engine.write_rows(0, rng.integers(0, 4, size=(2, 6)))
+
+    def test_span_and_values_validated(self, rng):
+        engine = FeReX(metric="hamming", bits=2, dims=6)
+        engine.allocate(4)
+        with pytest.raises(ValueError):
+            engine.write_rows(3, rng.integers(0, 4, size=(2, 6)))
+        with pytest.raises(ValueError):
+            engine.write_rows(0, np.full((1, 6), 4))
+        with pytest.raises(ValueError):
+            engine.write_rows(0, np.empty((0, 6), dtype=int))
+        with pytest.raises(ValueError):
+            engine.allocate(0)
+
+    def test_explicit_variation_override(self, rng):
+        from repro.devices.variation import VariationSampler
+
+        engine = FeReX(metric="hamming", bits=2, dims=6, seed=3)
+        sampler = VariationSampler(engine.tech.variation, seed=99)
+        override = sampler.sample_array(5, engine.physical_cols)
+        engine.allocate(5, variation=override)
+        assert engine.array.variation is override
+
+
+class TestUnifiedErrors:
+    def test_all_search_paths_raise_not_programmed(self, rng):
+        from repro.core.engine import NotProgrammedError
+
+        engine = FeReX(metric="hamming", bits=2, dims=4)
+        queries = np.zeros((2, 4), dtype=int)
+        with pytest.raises(NotProgrammedError, match="before search"):
+            engine.search(queries[0])
+        with pytest.raises(NotProgrammedError, match="before search"):
+            engine.search_k(queries[0], 1)
+        with pytest.raises(NotProgrammedError, match="before search"):
+            engine.search_batch(queries)
+        with pytest.raises(NotProgrammedError, match="before search"):
+            engine.search_k_batch(queries, 1)
+
+    def test_messages_identical_across_paths(self, rng):
+        """Satellite: one message, not two near-duplicates."""
+        engine = FeReX(metric="hamming", bits=2, dims=4)
+        queries = np.zeros((2, 4), dtype=int)
+        messages = set()
+        for fn in (
+            lambda: engine.search(queries[0]),
+            lambda: engine.search_k(queries[0], 1),
+            lambda: engine.search_batch(queries),
+            lambda: engine.search_k_batch(queries, 1),
+        ):
+            try:
+                fn()
+            except RuntimeError as err:
+                messages.add(str(err))
+        assert len(messages) == 1
+
+    def test_software_distances_requires_full_occupancy(self, rng):
+        from repro.core.engine import NotProgrammedError
+
+        engine = FeReX(metric="hamming", bits=2, dims=6)
+        engine.allocate(5)
+        engine.write_rows(0, rng.integers(0, 4, size=(3, 6)))
+        with pytest.raises(NotProgrammedError, match="3 of 5"):
+            engine.software_distances(rng.integers(0, 4, size=6))
+        engine.write_rows(3, rng.integers(0, 4, size=(2, 6)))
+        assert engine.software_distances(
+            rng.integers(0, 4, size=6)
+        ).shape == (5,)

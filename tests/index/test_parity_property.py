@@ -1,0 +1,133 @@
+"""Cross-backend and cross-history parity properties of FerexIndex.
+
+Three guarantees the index API rests on:
+
+1. **Backend parity** — under ideal devices the sharded FerexBackend
+   returns the same neighbors as the exact software reference across
+   every metric x bit-width the paper configures.  Rows tied at the
+   same integer distance may legitimately order differently (the analog
+   tie-break follows per-cell leakage, the software tie-break follows
+   position), so the property is exact-distance parity at every rank,
+   plus id equality whenever the query's relevant distances are
+   tie-free.
+2. **Incremental parity** — adds arriving in any batching, including
+   across bank boundaries, are bit-identical to one-shot programming:
+   a vector's physical row and variation draw depend only on its
+   insertion position.
+3. **Remove/compact parity** — tombstoned search equals compacted
+   search under ideal devices (same live set, same winners).
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.distance import get_metric
+from repro.index import FerexIndex
+
+CONFIGS = [
+    ("hamming", 1),
+    ("hamming", 2),
+    ("manhattan", 1),
+    ("manhattan", 2),
+    ("euclidean", 1),
+    ("euclidean", 2),
+]
+
+
+@pytest.mark.parametrize("metric,bits", CONFIGS)
+class TestBackendParity:
+    def test_ferex_matches_exact_under_ideal_devices(self, metric, bits):
+        # zlib.crc32 is stable across processes (hash() is randomised
+        # by PYTHONHASHSEED and would make the tie-free check flaky).
+        rng = np.random.default_rng(zlib.crc32(f"{metric}/{bits}".encode()))
+        hi = 1 << bits
+        stored = rng.integers(0, hi, size=(10, 32))
+        queries = rng.integers(0, hi, size=(16, 32))
+        k = 3
+
+        ferex = FerexIndex(
+            dims=32, metric=metric, bits=bits, backend="ferex", bank_rows=4
+        )
+        exact = FerexIndex(dims=32, metric=metric, bits=bits, backend="exact")
+        ferex.add(stored)
+        exact.add(stored)
+        f = ferex.search(queries, k=k)
+        e = exact.search(queries, k=k)
+
+        table = get_metric(metric).pairwise(queries, stored, bits)
+        f_dist = np.take_along_axis(table, f.ids, axis=1).astype(float)
+        # Rank-by-rank the true distances must agree everywhere...
+        assert np.array_equal(f_dist, e.distances)
+        # ...and where the top-(k+1) distances are tie-free the ids
+        # must agree exactly.
+        sorted_d = np.sort(table, axis=1)
+        width = min(k + 1, table.shape[1])
+        tie_free = np.array(
+            [len(np.unique(row[:width])) == width for row in sorted_d]
+        )
+        assert tie_free.any()  # the property must actually bite
+        assert np.array_equal(f.ids[tie_free], e.ids[tie_free])
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("seed", [None, 7])
+    def test_add_batching_invariant_across_bank_boundary(self, seed, rng):
+        """One-shot vs drip-fed adds crossing two bank boundaries:
+        bit-identical ids and distances."""
+        stored = rng.integers(0, 4, size=(40, 8))
+        queries = rng.integers(0, 4, size=(10, 8))
+
+        def build(chunks):
+            index = FerexIndex(
+                dims=8, metric="hamming", bits=2, bank_rows=16, seed=seed
+            )
+            for chunk in chunks:
+                index.add(chunk)
+            return index.search(queries, k=4)
+
+        one_shot = build([stored])
+        dripped = build(
+            [stored[:3], stored[3:16], stored[16:17], stored[17:40]]
+        )
+        assert np.array_equal(one_shot.ids, dripped.ids)
+        assert np.array_equal(one_shot.distances, dripped.distances)
+
+    def test_single_row_adds(self, rng):
+        stored = rng.integers(0, 4, size=(9, 6))
+        queries = rng.integers(0, 4, size=(5, 6))
+        a = FerexIndex(dims=6, bank_rows=4, seed=1)
+        b = FerexIndex(dims=6, bank_rows=4, seed=1)
+        a.add(stored)
+        for row in stored:
+            b.add(row.reshape(1, -1))
+        ra, rb = a.search(queries, k=2), b.search(queries, k=2)
+        assert np.array_equal(ra.ids, rb.ids)
+        assert np.array_equal(ra.distances, rb.distances)
+
+
+class TestRemoveCompactParity:
+    @pytest.mark.parametrize("metric", ["hamming", "manhattan"])
+    def test_tombstoned_equals_compacted(self, metric, rng):
+        stored = rng.integers(0, 4, size=(40, 8))
+        queries = rng.integers(0, 4, size=(12, 8))
+        index = FerexIndex(dims=8, metric=metric, bits=2, bank_rows=16)
+        index.add(stored)
+        index.remove([1, 8, 16, 24, 39])
+
+        tombstoned = index.search(queries, k=3)
+        index.compact()
+        compacted = index.search(queries, k=3)
+        assert np.array_equal(tombstoned.ids, compacted.ids)
+
+        # And both agree with an exact index over the surviving set.
+        live = np.delete(np.arange(40), [1, 8, 16, 24, 39])
+        exact = FerexIndex(dims=8, metric=metric, bits=2, backend="exact")
+        exact.add(stored[live], ids=live)
+        e = exact.search(queries, k=3)
+        table = get_metric(metric).pairwise(queries, stored, 2).astype(float)
+        rows = np.arange(len(queries))[:, None]
+        assert np.array_equal(
+            table[rows, tombstoned.ids], table[rows, e.ids]
+        )

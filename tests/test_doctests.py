@@ -6,12 +6,13 @@ import pytest
 
 import repro.core.dm
 import repro.core.engine
+import repro.index.index
 from repro.core.decompose import decompose
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.core.dm, repro.core.engine],
+    [repro.core.dm, repro.core.engine, repro.index.index],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
