@@ -1,0 +1,13 @@
+"""The FeReX benchmark harness.
+
+Two kinds of bench live here:
+
+* **paper artifacts** (``bench_fig*``, ``bench_table*``,
+  ``bench_ablation_*``, ``bench_ext_*``) — pytest-run regenerations of
+  the paper's figures and tables, persisted under
+  ``benchmarks/results/``;
+* **trajectory benches** (``bench_batch_throughput``,
+  ``bench_index_scaling``, ``bench_serving``) — performance floors the
+  CI benchmark job enforces on every PR.  These are also runnable as
+  modules: ``PYTHONPATH=src python -m benchmarks.<name> --quick``.
+"""

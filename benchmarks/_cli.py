@@ -1,0 +1,61 @@
+"""Shared artifact + command-line plumbing for the benchmark harness.
+
+Every bench regenerates one artifact (a paper table/figure or a
+trajectory metric) and persists it under ``benchmarks/results/``.  The
+trajectory benches (batch throughput, index scaling, serving) are
+additionally runnable as modules::
+
+    PYTHONPATH=src python -m benchmarks.bench_serving --quick
+
+``--quick`` selects the reduced CI workload; the GitHub Actions
+benchmark job and local runs share these exact entry points, so a
+regression caught in CI reproduces with one copy-pasted command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+def save_json_artifact(name: str, payload: dict) -> None:
+    """Persist a machine-readable artifact under ``results/<name>.json``.
+
+    Benches that track a trajectory (e.g. ``BENCH_batch_throughput``)
+    emit JSON next to the human-readable table so future PRs can diff
+    the numbers and detect regressions programmatically.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    path.write_text(rendered + "\n")
+    print(f"\n=== {name} ===\n{rendered}\n")
+
+
+def bench_main(run: Callable[..., object], description: str) -> None:
+    """Shared argparse entry point for module-mode benches.
+
+    ``run`` is the bench body; it receives ``quick=<bool>`` and must
+    raise (e.g. ``AssertionError``) on a regression so the process
+    exits non-zero — CI treats these entry points as gates.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI workload (same floors, smaller sweeps)",
+    )
+    args = parser.parse_args()
+    run(quick=args.quick)

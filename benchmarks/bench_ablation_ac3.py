@@ -11,7 +11,7 @@ from repro.core.dm import DistanceMatrix
 from repro.core.feasibility import check_feasibility
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 CASES = [

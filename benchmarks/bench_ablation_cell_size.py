@@ -10,7 +10,7 @@ from repro.core.dm import DistanceMatrix
 from repro.core.feasibility import find_min_cell
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 CASES = [

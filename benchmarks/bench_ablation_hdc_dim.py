@@ -10,7 +10,7 @@ from repro.apps.datasets import make_dataset
 from repro.apps.hdc.model import HDCClassifier
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def run_sweep(train_size, test_size, epochs):

@@ -11,7 +11,7 @@ from repro.devices.tech import TechConfig, VariationParams
 from repro.eval.montecarlo import MonteCarloSearch
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def run_sweep(n_runs):

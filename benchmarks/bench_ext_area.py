@@ -12,7 +12,7 @@ from repro.arch.area import AreaModel
 from repro.devices.tech import TechConfig
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 CELLS = [

@@ -15,7 +15,7 @@ from repro.core.engine import FeReX
 from repro.core.feasibility import find_min_cell
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def sweep_caps():

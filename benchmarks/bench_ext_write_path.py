@@ -15,7 +15,7 @@ from repro.circuits.interface import RowInterface, RowMode
 from repro.devices.tech import DriverParams, FeFETParams
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def program_arrays():

@@ -12,7 +12,7 @@ from repro.devices.cell import OneFeFETOneR
 from repro.devices.tech import CellParams, FeFETParams
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 PARAMS = FeFETParams()

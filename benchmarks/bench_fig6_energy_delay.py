@@ -12,7 +12,7 @@ from repro.arch.energy import EnergyModel
 from repro.arch.timing import TimingModel
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 ROWS_SWEEP = (16, 32, 64, 128, 256, 512)

@@ -7,13 +7,12 @@ or above ~90 %, and end-to-end KNN accuracy must degrade well under a
 point relative to software.
 """
 
-import numpy as np
 
 from repro.apps.datasets import make_mnist, quantize_features
 from repro.eval.montecarlo import MonteCarloKNNAccuracy, MonteCarloSearch
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 PAIRS = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]

@@ -18,7 +18,7 @@ from repro.apps.hdc.model import HDCClassifier
 from repro.eval.gpu_model import GPUCostModel
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 DATASETS = ("ISOLET", "UCIHAR", "MNIST")

@@ -10,6 +10,10 @@ caching, replication) can track the trajectory.
 
 Also records the one-bank exact-backend throughput as the software
 reference line.
+
+Runnable either under pytest or as a module::
+
+    PYTHONPATH=src python -m benchmarks.bench_index_scaling --quick
 """
 
 import time
@@ -19,14 +23,16 @@ import numpy as np
 from repro.eval.reporting import format_table
 from repro.index import FerexIndex
 
-from conftest import save_artifact, save_json_artifact
+from benchmarks._cli import bench_main, save_artifact, save_json_artifact
 
 ROWS = 256
 DIMS = 64
 BITS = 2
 N_QUERIES = 512
+QUICK_N_QUERIES = 128
 K = 3
 BANK_COUNTS = (1, 2, 4, 8)
+QUICK_BANK_COUNTS = (1, 4)
 
 
 def _measure(index, queries) -> dict:
@@ -41,13 +47,16 @@ def _measure(index, queries) -> dict:
     }
 
 
-def test_index_scaling():
+def run(quick=False):
+    """Bench body shared by the pytest and ``python -m`` entry points."""
+    bank_counts = QUICK_BANK_COUNTS if quick else BANK_COUNTS
+    n_queries = QUICK_N_QUERIES if quick else N_QUERIES
     rng = np.random.default_rng(29)
     stored = rng.integers(0, 1 << BITS, size=(ROWS, DIMS))
-    queries = rng.integers(0, 1 << BITS, size=(N_QUERIES, DIMS))
+    queries = rng.integers(0, 1 << BITS, size=(n_queries, DIMS))
 
     results = {}
-    for n_banks in BANK_COUNTS:
+    for n_banks in bank_counts:
         index = FerexIndex(
             dims=DIMS,
             metric="hamming",
@@ -80,7 +89,7 @@ def test_index_scaling():
         rows_out,
         title=(
             f"FerexIndex search throughput vs bank count "
-            f"({ROWS}x{DIMS}, {N_QUERIES} queries, k={K})"
+            f"({ROWS}x{DIMS}, {n_queries} queries, k={K})"
         ),
     )
     save_artifact("index_scaling", text)
@@ -91,7 +100,7 @@ def test_index_scaling():
                 "rows": ROWS,
                 "dims": DIMS,
                 "bits": BITS,
-                "n_queries": N_QUERIES,
+                "n_queries": n_queries,
                 "k": K,
             },
             "results": results,
@@ -101,5 +110,14 @@ def test_index_scaling():
     # Every sharding must stay usable: within ~100x of the single-bank
     # configuration (the merge overhead is per-bank, not per-row).
     base = results["ferex_1_banks"]["qps"]
-    for n_banks in BANK_COUNTS[1:]:
+    for n_banks in bank_counts[1:]:
         assert results[f"ferex_{n_banks}_banks"]["qps"] > base / 100
+    return results
+
+
+def test_index_scaling():
+    run()
+
+
+if __name__ == "__main__":
+    bench_main(run, "FerexIndex throughput vs bank count")

@@ -1,0 +1,224 @@
+"""Serving throughput: coalesced micro-batching vs naive per-query
+dispatch.
+
+The FeReX batch path amortises one array evaluation over many queries;
+:class:`repro.serve.FerexServer` is what converts *concurrent traffic*
+into those batches.  This bench measures end-to-end served queries/sec
+at client concurrency 1 / 8 / 64 for the coalescing server against
+naive per-query dispatch — the same server with coalescing disabled
+(``max_batch_size=1``), so every request becomes its own one-query
+index search.  A synchronous per-query loop is recorded as a third
+reference line.  Everything persists to ``results/BENCH_serving.json``
+so the serving trajectory is tracked across PRs alongside the batch
+and sharding benches.
+
+Headline assertion: at concurrency 64 the coalesced server serves
+>= 5x the naive per-query dispatch rate.
+
+Runnable either under pytest or as a module::
+
+    PYTHONPATH=src python -m benchmarks.bench_serving --quick
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.index import FerexIndex
+from repro.serve import FerexServer
+
+from benchmarks._cli import bench_main, save_artifact, save_json_artifact
+
+#: HDC-inference-shaped serving workload (16 class prototypes x 512-d
+#: hypervectors, the classic associative-memory deployment): the fixed
+#: per-call cost of a one-query array evaluation dominates, which is
+#: precisely the cost coalescing amortises across concurrent callers.
+ROWS = 16
+DIMS = 512
+BITS = 1
+K = 3
+MAX_BATCH = 64
+MAX_WAIT_MS = 2.0
+CONCURRENCY = (1, 8, 64)
+#: Queries served per concurrency level (quick halves the heavy ones).
+N_QUERIES = {1: 64, 8: 256, 64: 1024}
+QUICK_N_QUERIES = {1: 32, 8: 128, 64: 512}
+#: Queries timed for the naive per-query baseline.
+NAIVE_SAMPLE = 64
+HEADLINE_CONCURRENCY = 64
+MIN_SPEEDUP_AT_64 = 5.0
+
+
+def _build_index() -> FerexIndex:
+    index = FerexIndex(dims=DIMS, metric="hamming", bits=BITS)
+    rng = np.random.default_rng(31)
+    index.add(rng.integers(0, 1 << BITS, size=(ROWS, DIMS)))
+    return index
+
+
+def _measure_serial_loop(index: FerexIndex, queries: np.ndarray) -> dict:
+    """Reference line: a synchronous per-query loop, no serving stack."""
+    index.search(queries[:1], k=K)  # warm the bias tables
+    sample = queries[:NAIVE_SAMPLE]
+    t0 = time.perf_counter()
+    for query in sample:
+        index.search(query[None], k=K)
+    elapsed = time.perf_counter() - t0
+    return {
+        "n_queries_timed": len(sample),
+        "qps": len(sample) / elapsed,
+    }
+
+
+def _measure_server(
+    index: FerexIndex,
+    queries: np.ndarray,
+    concurrency: int,
+    max_batch_size: int,
+) -> dict:
+    """``concurrency`` client tasks drain a shared queue through one
+    server (cache off: every request must hit the array).
+
+    ``max_batch_size=1`` is the naive per-query dispatch baseline;
+    ``MAX_BATCH`` is the coalescing configuration under test.
+    """
+
+    async def client(server, stream, outcomes):
+        while True:
+            try:
+                row, query = next(stream)
+            except StopIteration:
+                return
+            outcomes[row] = await server.search(query, k=K)
+
+    async def main():
+        server = FerexServer(
+            index,
+            max_batch_size=max_batch_size,
+            max_wait_ms=MAX_WAIT_MS,
+            cache_size=0,
+        )
+        async with server:
+            await server.search(queries[0], k=K)  # warm-up
+            server.stats.reset()
+            stream = iter(enumerate(queries))
+            outcomes = [None] * len(queries)
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    client(server, stream, outcomes)
+                    for _ in range(concurrency)
+                )
+            )
+            elapsed = time.perf_counter() - t0
+            snapshot = server.stats.snapshot()
+        # The serving layer must not change a single answer.
+        direct = index.search(queries, k=K)
+        ids = np.stack([o.ids for o in outcomes])
+        distances = np.stack([o.distances for o in outcomes])
+        assert np.array_equal(ids, direct.ids)
+        assert np.array_equal(distances, direct.distances)
+        return {
+            "n_queries": len(queries),
+            "qps": len(queries) / elapsed,
+            "mean_batch_size": snapshot["mean_batch_size"],
+            "n_batches": snapshot["n_batches"],
+            "latency_p50_ms": snapshot["latency"]["p50"] * 1e3,
+            "latency_p95_ms": snapshot["latency"]["p95"] * 1e3,
+        }
+
+    return asyncio.run(main())
+
+
+def run(quick=False):
+    """Bench body shared by the pytest and ``python -m`` entry points."""
+    sizes = QUICK_N_QUERIES if quick else N_QUERIES
+    index = _build_index()
+    rng = np.random.default_rng(37)
+    all_queries = rng.integers(
+        0, 1 << BITS, size=(max(sizes.values()), DIMS)
+    )
+
+    serial_loop = _measure_serial_loop(index, all_queries)
+    results = {}
+    for concurrency in CONCURRENCY:
+        queries = all_queries[: sizes[concurrency]]
+        naive = _measure_server(
+            index, queries, concurrency, max_batch_size=1
+        )
+        coalesced = _measure_server(
+            index, queries, concurrency, max_batch_size=MAX_BATCH
+        )
+        results[f"concurrency_{concurrency}"] = {
+            "concurrency": concurrency,
+            "naive": naive,
+            "coalesced": coalesced,
+            "speedup_vs_naive": coalesced["qps"] / naive["qps"],
+        }
+
+    rows_out = [
+        [
+            f"{r['concurrency']}",
+            f"{r['coalesced']['n_queries']}",
+            f"{r['naive']['qps']:.0f}",
+            f"{r['coalesced']['qps']:.0f}",
+            f"{r['coalesced']['mean_batch_size']:.1f}",
+            f"{r['coalesced']['latency_p95_ms']:.2f}",
+            f"{r['speedup_vs_naive']:.1f}x",
+        ]
+        for r in results.values()
+    ]
+    text = format_table(
+        [
+            "Clients",
+            "Queries",
+            "Naive q/s",
+            "Coalesced q/s",
+            "Mean batch",
+            "p95 ms",
+            "Speedup",
+        ],
+        rows_out,
+        title=(
+            f"FerexServer: coalesced vs naive per-query dispatch "
+            f"({ROWS}x{DIMS}, k={K}, serial loop "
+            f"{serial_loop['qps']:.0f} q/s)"
+        ),
+    )
+    save_artifact("serving", text)
+    save_json_artifact(
+        "BENCH_serving",
+        {
+            "workload": {
+                "rows": ROWS,
+                "dims": DIMS,
+                "bits": BITS,
+                "k": K,
+                "max_batch_size": MAX_BATCH,
+                "max_wait_ms": MAX_WAIT_MS,
+                "quick": quick,
+            },
+            "serial_loop": serial_loop,
+            "results": results,
+        },
+    )
+
+    headline = results[f"concurrency_{HEADLINE_CONCURRENCY}"]
+    assert headline["speedup_vs_naive"] >= MIN_SPEEDUP_AT_64, (
+        f"coalesced serving only {headline['speedup_vs_naive']:.1f}x "
+        f"naive dispatch at concurrency {HEADLINE_CONCURRENCY}; "
+        f"regression below the {MIN_SPEEDUP_AT_64:.0f}x floor"
+    )
+    # Coalescing must actually coalesce under concurrent load.
+    assert headline["coalesced"]["mean_batch_size"] > 1.5
+    return results
+
+
+def test_serving_throughput():
+    run()
+
+
+if __name__ == "__main__":
+    bench_main(run, "Serving throughput: coalesced vs naive dispatch")

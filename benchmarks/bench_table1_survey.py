@@ -13,7 +13,7 @@ from repro.core.feasibility import find_min_cell
 from repro.core.constructive import constructive_cell
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 #: Static rows of Table I (from the paper, for context).

@@ -12,7 +12,7 @@ from repro.core.dm import DistanceMatrix
 from repro.core.encoding import best_encoding, verify_encoding
 from repro.core.feasibility import find_min_cell, iter_solutions
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def solve_table2():

@@ -8,7 +8,7 @@ each generator matches the published feature size, class count and
 from repro.apps.datasets import TABLE_III, make_dataset
 from repro.eval.reporting import format_table
 
-from conftest import save_artifact
+from benchmarks._cli import save_artifact
 
 
 def test_table3_datasets(benchmark, scale_cfg):

@@ -1,42 +1,23 @@
-"""Shared helpers for the benchmark harness.
+"""Pytest fixtures for the benchmark harness.
 
-Every bench regenerates one paper artifact (table rows or figure series)
-and both prints it and saves it under ``benchmarks/results/`` so that
-EXPERIMENTS.md can reference the exact reproduced numbers.
+Artifact helpers live in :mod:`benchmarks._cli` (shared with the
+``python -m benchmarks.<name>`` entry points); they are re-exported
+here for convenience.
 
 Scale control: set ``FEREX_BENCH_SCALE=full`` to run paper-sized
 workloads (Table III split sizes, 100-run Monte Carlo, 4k hypervectors).
 The default "ci" scale finishes the whole suite in a few minutes.
 """
 
-import json
 import os
-import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def save_artifact(name: str, text: str) -> None:
-    """Print a regenerated artifact and persist it for EXPERIMENTS.md."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n=== {name} ===\n{text}\n")
-
-
-def save_json_artifact(name: str, payload: dict) -> None:
-    """Persist a machine-readable artifact under ``results/<name>.json``.
-
-    Benches that track a trajectory (e.g. ``BENCH_batch_throughput``)
-    emit JSON next to the human-readable table so future PRs can diff
-    the numbers and detect regressions programmatically.
-    """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"\n=== {name} ===\n{json.dumps(payload, indent=2, sort_keys=True)}\n")
+from benchmarks._cli import (  # noqa: F401  (re-exported)
+    RESULTS_DIR,
+    save_artifact,
+    save_json_artifact,
+)
 
 
 @pytest.fixture(scope="session")

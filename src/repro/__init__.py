@@ -13,6 +13,8 @@ the full stack from the paper:
 * :mod:`repro.index` — the :class:`FerexIndex` vector-index facade:
   sharded multi-bank search with pluggable backends, incremental
   writes and persistence;
+* :mod:`repro.serve` — the async serving layer: request coalescing,
+  LRU query caching and replica routing over :class:`FerexServer`;
 * :mod:`repro.apps` — KNN and hyperdimensional-computing applications
   plus dataset generators;
 * :mod:`repro.eval` — Monte Carlo harness, GPU roofline baseline and
@@ -43,6 +45,11 @@ _LAZY_EXPORTS = {
     "FerexBackend": ("repro.index", "FerexBackend"),
     "ExactBackend": ("repro.index", "ExactBackend"),
     "GPUBackend": ("repro.index", "GPUBackend"),
+    "FerexServer": ("repro.serve", "FerexServer"),
+    "QueryCache": ("repro.serve", "QueryCache"),
+    "ReplicaRouter": ("repro.serve", "ReplicaRouter"),
+    "RequestCoalescer": ("repro.serve", "RequestCoalescer"),
+    "ServerStats": ("repro.serve", "ServerStats"),
 }
 
 __all__ = [

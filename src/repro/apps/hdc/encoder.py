@@ -13,7 +13,6 @@ components; the result is quantised by the caller
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

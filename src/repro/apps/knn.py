@@ -126,8 +126,14 @@ class KNNClassifier:
     def _neighbors_batch(
         self, queries: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """(n, k') neighbor train-indices and distances via the index."""
-        outcome = self._index.search(queries, self.k)
+        """(n, k') neighbor train-indices and distances via the index.
+
+        ``k`` is clamped to the reference-set size: the index pads
+        columns beyond the live row count with ``(-1, inf)`` sentinels,
+        which must never reach the label vote.
+        """
+        k = min(self.k, len(self._index))
+        outcome = self._index.search(queries, k)
         return outcome.ids, outcome.distances
 
     def _vote_batch(self, idx: np.ndarray) -> np.ndarray:

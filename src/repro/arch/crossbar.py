@@ -273,7 +273,7 @@ class FeReXArray:
 
         self.erase_row(row)
         self.write_generation += 1
-        nominal = np.array([fefet.vth_level(l) for l in levels])
+        nominal = np.array([fefet.vth_level(lv) for lv in levels])
         self._vth_nominal[row, :] = nominal
         self.levels[row, :] = levels
         self._account_write(self.physical_cols)
@@ -332,7 +332,7 @@ class FeReXArray:
 
         self.write_generation += 1
         vth_lut = np.array(
-            [fefet.vth_level(l) for l in range(fefet.n_vth_levels)]
+            [fefet.vth_level(lv) for lv in range(fefet.n_vth_levels)]
         )
         self._vth_nominal[start : start + n] = vth_lut[levels]
         self.levels[start : start + n] = levels

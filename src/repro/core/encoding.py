@@ -161,8 +161,8 @@ class CellEncoding:
         """Per-FeFET programmed threshold voltages for ``stored_value``."""
         self._check_ladder(params)
         return tuple(
-            params.vth_level(l)
-            for l in self.store_levels_for(stored_value)
+            params.vth_level(lv)
+            for lv in self.store_levels_for(stored_value)
         )
 
     def search_voltages_for(
@@ -171,7 +171,7 @@ class CellEncoding:
         """Per-FeFET (gate voltages, drain multiples) for a search value."""
         self._check_ladder(params)
         levels, vds = self.search_config_for(search_value)
-        return tuple(params.search_voltage(l) for l in levels), vds
+        return tuple(params.search_voltage(lv) for lv in levels), vds
 
     def _check_ladder(self, params: FeFETParams) -> None:
         if params.n_vth_levels < self.n_ladder_levels:
@@ -235,11 +235,11 @@ class CellEncoding:
         width = self.bits or max(1, (self.n_stored - 1).bit_length())
         for v in range(self.n_stored):
             stores = " ".join(
-                f"Vt{l}" + " " * 4 for l in self.store_levels_for(v)
+                f"Vt{lv}" + " " * 4 for lv in self.store_levels_for(v)
             )
             if v < self.n_search:
                 levels, vds = self.search_config_for(v)
-                searches = " ".join(f"Vs{l}" + " " * 3 for l in levels)
+                searches = " ".join(f"Vs{lv}" + " " * 3 for lv in levels)
                 drains = " ".join(
                     (f"{m}V" if m > 1 else " V") + " " * 6 for m in vds
                 )

@@ -32,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .csp import CSP, Constraint, ac3, solve_all
+from .csp import CSP, Constraint, solve_all
 from .decompose import decompose, min_fefets_for
 from .dm import DistanceMatrix
 

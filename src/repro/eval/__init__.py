@@ -8,7 +8,13 @@ from .montecarlo import (
     MonteCarloSearch,
     build_distance_probe,
 )
-from .reporting import engineering, format_series, format_table
+from .reporting import (
+    engineering,
+    format_series,
+    format_table,
+    percentile,
+    summarize_latencies,
+)
 
 __all__ = [
     "GPUCostModel",
@@ -22,4 +28,6 @@ __all__ = [
     "engineering",
     "format_series",
     "format_table",
+    "percentile",
+    "summarize_latencies",
 ]

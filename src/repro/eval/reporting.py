@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 
 def format_table(
     headers: Sequence[str],
@@ -70,6 +72,49 @@ def format_series(
         )
     headers = [x_label, *series_names]
     return format_table(headers, points, title=title)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (``q`` in [0, 100]).
+
+    A thin wrapper over ``numpy.percentile`` that validates the
+    serving-stats contract (non-empty samples, bounded ``q``) and
+    always returns a plain float.
+    """
+    if len(samples) == 0:
+        raise ValueError("percentile needs at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    return float(np.percentile(list(samples), q))
+
+
+def summarize_latencies(samples: Sequence[float]) -> dict:
+    """Serving-latency summary: count/mean/p50/p95/p99/max (seconds).
+
+    The shared shape for :class:`repro.serve.ServerStats` snapshots and
+    ``benchmarks/bench_serving.py`` artifacts, so latency trajectories
+    diff cleanly across PRs.  Empty input reports zeros rather than
+    raising: a server that has not yet served is a valid thing to
+    snapshot.
+    """
+    if len(samples) == 0:
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+    values = [float(s) for s in samples]
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+        "max": max(values),
+    }
 
 
 def engineering(value: float, unit: str) -> str:

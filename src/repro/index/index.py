@@ -26,6 +26,7 @@ bit-identical search results.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import NamedTuple, Optional, Sequence, Union
@@ -44,9 +45,12 @@ class SearchOutcome(NamedTuple):
     """Uniform batch search result: unpacks as ``ids, distances``."""
 
     #: (n_queries, k) ids of the nearest stored vectors, nearest first.
+    #: When ``k`` exceeds the live row count the tail is padded with
+    #: ``-1`` (no id is ever negative).
     ids: np.ndarray
     #: (n_queries, k) distances — analog unit currents for the ferex
     #: backend, exact integer distances (as floats) for exact/gpu.
+    #: Padded entries hold ``inf``.
     distances: np.ndarray
 
 
@@ -102,6 +106,8 @@ class FerexIndex:
         self._alive = np.empty(0, dtype=bool)
         self._id_to_pos: dict = {}
         self._next_id = 0
+        self._write_generation = 0
+        self._mutation_digest = hashlib.blake2b(digest_size=16)
 
     def _make_backend(
         self, backend: Union[str, SearchBackend]
@@ -140,6 +146,61 @@ class FerexIndex:
     def n_banks(self) -> int:
         """Physical banks behind the index (0 for unbanked backends)."""
         return getattr(self._backend, "n_banks", 0)
+
+    @property
+    def write_generation(self) -> int:
+        """Monotonic mutation counter: bumped by every successful
+        ``add``/``remove``/``compact`` (and once by ``load``).
+
+        Serving layers key query caches on ``(query bytes, k,
+        write_generation)`` so any mutation implicitly invalidates every
+        cached result — no callback protocol needed.
+        """
+        return self._write_generation
+
+    def fingerprint(self) -> str:
+        """Cheap stable digest of configuration + mutation history.
+
+        The digest folds in the index configuration (dims, metric, bits,
+        backend kind, bank geometry, seed) and a rolling hash of every
+        mutation applied (op tag + ids + vector payload), so it is O(1)
+        to read and O(delta) to maintain — no re-hash of the stored set.
+
+        Two indexes report the same fingerprint iff they were built with
+        the same configuration and driven through the same mutation
+        sequence, which is exactly the single-writer replica discipline
+        :class:`repro.serve.FerexServer` enforces; the replica router
+        uses fingerprint equality as its bit-identity parity check.
+        (``load`` replays persistence as one bulk mutation, so two
+        ``load``\\ s of the same file also match each other.)
+        """
+        payload = json.dumps(
+            {
+                "dims": self.dims,
+                "metric": self._metric_name(),
+                "bits": self.bits,
+                "backend": self._backend_kind
+                or type(self._backend).__name__,
+                "bank_rows": self.bank_rows,
+                "encoder": self.encoder,
+                "seed": self.seed,
+                "write_generation": self._write_generation,
+                "ntotal": self.ntotal,
+                "next_id": self._next_id,
+            },
+            sort_keys=True,
+        ).encode()
+        digest = self._mutation_digest.copy()
+        digest.update(payload)
+        return digest.hexdigest()
+
+    def _note_mutation(self, op: bytes, *parts: bytes) -> None:
+        """Bump the write generation and fold the mutation into the
+        rolling fingerprint digest."""
+        self._write_generation += 1
+        self._mutation_digest.update(op)
+        for part in parts:
+            self._mutation_digest.update(part)
 
     def __len__(self) -> int:
         return self.ntotal
@@ -208,6 +269,7 @@ class FerexIndex:
         for offset, id_ in enumerate(ids):
             self._id_to_pos[int(id_)] = start + offset
         self._next_id = max(self._next_id, int(ids.max()) + 1)
+        self._note_mutation(b"add", ids.tobytes(), vectors.tobytes())
         return ids
 
     def remove(self, ids: Sequence[int]) -> int:
@@ -228,6 +290,7 @@ class FerexIndex:
         positions = np.asarray(positions, dtype=int)
         self._alive[positions] = False
         self._backend.deactivate(positions)
+        self._note_mutation(b"remove", ids.tobytes())
         return len(positions)
 
     def compact(self) -> None:
@@ -242,14 +305,21 @@ class FerexIndex:
             int(id_): pos for pos, id_ in enumerate(self._ids)
         }
         self._backend.rebuild(self._vectors)
+        self._note_mutation(b"compact")
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def search(self, queries: np.ndarray, k: int = 1) -> SearchOutcome:
         """Batch k-nearest search: (n, dims) queries to a
-        :class:`SearchOutcome` of (n, k') ids and distances, where
-        ``k' = min(k, ntotal)``."""
+        :class:`SearchOutcome` of (n, k) ids and distances.
+
+        When ``k`` exceeds the number of live (non-tombstoned) rows the
+        trailing columns are padded with ``(-1, inf)`` — every backend
+        only ever competes the live set, so the padding is identical for
+        ferex, exact and gpu backends by construction and the output
+        shape is always ``(n, k)``.
+        """
         if self.ntotal == 0:
             raise NotProgrammedError(
                 "add() must be called before search(): the index is empty"
@@ -258,13 +328,23 @@ class FerexIndex:
             raise ValueError("k must be >= 1")
         queries = self._validate_vectors(queries)
         k_eff = min(k, self.ntotal)
-        if len(queries) == 0:
+        n = len(queries)
+        if n == 0:
             return SearchOutcome(
-                ids=np.empty((0, k_eff), dtype=np.int64),
-                distances=np.empty((0, k_eff)),
+                ids=np.empty((0, k), dtype=np.int64),
+                distances=np.empty((0, k)),
             )
         positions, distances = self._backend.search(queries, k_eff)
-        return SearchOutcome(ids=self._ids[positions], distances=distances)
+        ids = self._ids[positions]
+        if k_eff < k:
+            pad = k - k_eff
+            ids = np.concatenate(
+                [ids, np.full((n, pad), -1, dtype=np.int64)], axis=1
+            )
+            distances = np.concatenate(
+                [distances, np.full((n, pad), np.inf)], axis=1
+            )
+        return SearchOutcome(ids=ids, distances=distances)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -356,4 +436,14 @@ class FerexIndex:
             dead = np.flatnonzero(~index._alive)
             if len(dead):
                 index._backend.deactivate(dead)
+        # Persistence replays as one bulk mutation: two loads of the
+        # same file report equal fingerprints and a fresh (non-zero)
+        # write generation, so serving caches never bleed across a
+        # reload.
+        index._note_mutation(
+            b"load",
+            index._vectors.tobytes(),
+            index._ids.tobytes(),
+            index._alive.tobytes(),
+        )
         return index

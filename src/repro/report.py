@@ -38,6 +38,7 @@ ARTIFACT_ORDER = [
     "ext_saturating",
     "batch_throughput",
     "index_scaling",
+    "serving",
 ]
 
 

@@ -1,0 +1,31 @@
+"""The serving layer: async batching, caching and replication on top of
+:class:`repro.index.FerexIndex`.
+
+* :class:`FerexServer` — the facade: coalesced + cached + replicated
+  search that stays bit-identical to direct index search;
+* :class:`RequestCoalescer` — micro-batches concurrent requests so they
+  ride the index's batched search path;
+* :class:`QueryCache` — LRU keyed on (query bytes, k,
+  write-generation), invalidated by every index mutation;
+* :class:`ReplicaRouter` / :class:`Replica` — round-robin or
+  least-loaded reads over N bit-identical replicas, single-writer
+  mutation path with parity checking;
+* :class:`ServerStats` — qps, batch-size histogram, cache hit rate and
+  latency percentiles for benchmarks and tests.
+"""
+
+from .cache import QueryCache
+from .coalescer import RequestCoalescer
+from .router import Replica, ReplicaParityError, ReplicaRouter
+from .server import FerexServer
+from .stats import ServerStats
+
+__all__ = [
+    "FerexServer",
+    "QueryCache",
+    "Replica",
+    "ReplicaParityError",
+    "ReplicaRouter",
+    "RequestCoalescer",
+    "ServerStats",
+]

@@ -1,0 +1,118 @@
+"""LRU query cache for the serving layer.
+
+Entries are keyed on ``(query bytes, k, index write-generation)``: the
+generation component makes every index mutation an implicit, total
+invalidation — a key minted before an ``add``/``remove``/``compact``
+can never collide with one minted after, so stale results are
+unreachable the instant the index changes.  :class:`repro.serve.server.
+FerexServer` additionally calls :meth:`QueryCache.clear` on its write
+path so the dead generation's entries release their memory immediately
+instead of aging out of the LRU.
+
+The cache is **event-loop confined**: every access happens on the
+server's asyncio thread (lookups on the submit path, inserts after the
+dispatch coroutine resumes), so no locking is needed.  Stored arrays
+are frozen copies of the served rows (the server hands callers
+*writable* copies on a hit, so hit and miss results have identical
+mutability); hits are bit-identical to the miss that populated them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Cache key: (canonical query bytes, k, index write-generation).
+CacheKey = Tuple[bytes, int, int]
+
+
+class QueryCache:
+    """Bounded LRU of ``(ids, distances)`` rows per served query.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries; ``0`` disables caching entirely
+        (every lookup misses, inserts are dropped).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        # key -> (ids, distances), most-recently-used last
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(query: np.ndarray, k: int, generation: int) -> CacheKey:
+        """Canonical key for one query row.
+
+        Queries are quantised integer vectors; hashing the ``int64``
+        byte image makes the key independent of the caller's input
+        dtype (a list, ``int32`` array, … all map to the same entry).
+        """
+        canonical = np.ascontiguousarray(query, dtype=np.int64)
+        return (canonical.tobytes(), int(k), int(generation))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since construction (0.0 before traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(
+        self, key: CacheKey
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Look up one entry, refreshing its LRU recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, key: CacheKey, ids: np.ndarray, distances: np.ndarray
+    ) -> None:
+        """Insert one served result, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        ids = np.array(ids)
+        distances = np.array(distances)
+        ids.flags.writeable = False
+        distances.flags.writeable = False
+        self._entries[key] = (ids, distances)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the server's write-path invalidation)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """Counters for the stats surface."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

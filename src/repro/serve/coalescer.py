@@ -1,0 +1,177 @@
+"""Async request coalescing: many concurrent searches, few dispatches.
+
+FeReX earns its throughput by amortising one array evaluation over many
+queries (the ~50x batch-over-serial win measured in
+``benchmarks/bench_batch_throughput.py``).  A serving process only sees
+that win if concurrent single-query callers are *coalesced* into
+micro-batches before they reach the index — which is exactly what
+:class:`RequestCoalescer` does:
+
+* a submitted request parks in the pending queue;
+* the queue flushes when it reaches ``max_batch_size`` **or**
+  ``max_wait_ms`` after its first request arrived, whichever is first;
+* a flush groups pending requests by ``k`` (the index's batch entry
+  point takes one ``k`` per call) and dispatches each group through the
+  supplied async ``dispatch`` callable in arrival order;
+* each caller's future resolves with its own ``(ids, distances)`` row.
+
+Because the index's batch path is bit-identical to its serial path by
+construction, coalescing changes *when* a query is evaluated but never
+*what* it returns.
+
+Cancellation discipline: a caller that abandons its request (e.g. via
+``asyncio.wait_for``) before the flush is silently dropped from the
+batch; one cancelled after dispatch simply never receives the result.
+Other requests in the same micro-batch are unaffected either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, List, Optional, Tuple
+
+import numpy as np
+
+#: Async dispatch: (queries (n, dims), k) -> (ids (n, k), distances).
+DispatchFn = Callable[
+    [np.ndarray, int], Awaitable[Tuple[np.ndarray, np.ndarray]]
+]
+
+
+class _Pending:
+    """One parked request: query row, k, and the caller's future."""
+
+    __slots__ = ("query", "k", "future")
+
+    def __init__(self, query: np.ndarray, k: int, future: asyncio.Future):
+        self.query = query
+        self.k = k
+        self.future = future
+
+
+class RequestCoalescer:
+    """Collects concurrent ``submit`` calls into micro-batches.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable evaluating one micro-batch.  Exceptions it
+        raises propagate to every caller in that batch.
+    max_batch_size:
+        Flush immediately once this many requests are pending.
+    max_wait_ms:
+        Flush at latest this long after the oldest pending request
+        arrived; ``0`` flushes on the next event-loop tick (pure
+        opportunistic batching, no added latency).
+    on_batch:
+        Optional observer called with each successfully served batch
+        size (the server wires :meth:`ServerStats.record_batch` here).
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        on_batch: Optional[Callable[[int], None]] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._dispatch = dispatch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._on_batch = on_batch
+        self._pending: List[_Pending] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._inflight: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        """Requests parked and not yet dispatched."""
+        return len(self._pending)
+
+    async def submit(
+        self, query: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Park one query until its micro-batch flushes; returns this
+        query's ``(ids, distances)`` row."""
+        if self._closed:
+            raise RuntimeError("coalescer is closed")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending.append(_Pending(query, k, future))
+        if len(self._pending) >= self.max_batch_size:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.max_wait_s, self._flush
+            )
+        return await future
+
+    async def close(self) -> None:
+        """Flush any parked requests and wait out in-flight batches;
+        subsequent submits raise."""
+        self._closed = True
+        while self._pending:
+            self._flush()
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight))
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Dispatch every pending request now.
+
+        ``submit`` flushes synchronously the moment the queue reaches
+        ``max_batch_size`` (and flushing itself never awaits), so the
+        queue can never exceed one batch — the whole pending list *is*
+        the micro-batch.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        # Callers that cancelled while parked drop out of the batch.
+        batch = [p for p in batch if not p.future.done()]
+        if not batch:
+            return
+        # One index call per distinct k, arrival order preserved.
+        by_k: dict = {}
+        for pending in batch:
+            by_k.setdefault(pending.k, []).append(pending)
+        loop = asyncio.get_running_loop()
+        for k, group in by_k.items():
+            task = loop.create_task(self._run_batch(group, k))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, group: List[_Pending], k: int) -> None:
+        # Everything — batch assembly, dispatch, and handing out the
+        # rows — stays inside the try: an exception that escaped before
+        # every future resolves (a ragged batch, a dispatch that
+        # returned too few rows) would leave callers awaiting forever.
+        try:
+            queries = np.stack([pending.query for pending in group])
+            ids, distances = await self._dispatch(queries, k)
+            if len(ids) < len(group) or len(distances) < len(group):
+                raise ValueError(
+                    f"dispatch returned {len(ids)} rows for a batch "
+                    f"of {len(group)}"
+                )
+            # Observed only on success: the stats histogram counts
+            # batches that were actually served.
+            if self._on_batch is not None:
+                self._on_batch(len(group))
+            for row, pending in enumerate(group):
+                if not pending.future.done():
+                    pending.future.set_result((ids[row], distances[row]))
+        except Exception as exc:  # propagate to every unresolved caller
+            for pending in group:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)

@@ -1,0 +1,287 @@
+"""`FerexServer`: the async serving facade over FeReX index replicas.
+
+The request path composes the three serving primitives::
+
+                      submit                   flush
+    search(query, k) ───────> RequestCoalescer ─────> micro-batch
+          │ hit?                                        │
+          ▼                                             ▼
+      QueryCache <───── populate rows ────── ReplicaRouter.read()
+    (query, k, write-generation)                        │
+                                                        ▼
+                                            FerexIndex.search (batched)
+
+* a request first probes the LRU :class:`~repro.serve.cache.QueryCache`
+  (keyed on quantised query bytes, ``k`` and the index
+  write-generation);
+* on a miss it parks in the :class:`~repro.serve.coalescer.
+  RequestCoalescer`, which flushes micro-batches through one replica
+  picked by the :class:`~repro.serve.router.ReplicaRouter`;
+* the batched index search runs on a worker thread
+  (``run_in_executor``), so the event loop keeps accepting and
+  coalescing requests while the array simulation crunches;
+* writes (``add``/``remove``/``compact``) go through the router's
+  single-writer path — applied to every replica in order, parity
+  checked — and clear the cache.
+
+Every answer is bit-identical to calling ``FerexIndex.search``
+directly: batching rides the index's bit-identical batch path, cached
+rows are frozen copies of served results, and replicas are kept
+bit-identical by construction.  ``tests/serve/`` asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..index import FerexIndex, SearchOutcome
+from .cache import QueryCache
+from .coalescer import RequestCoalescer
+from .router import ReplicaRouter
+from .stats import ServerStats
+
+
+class FerexServer:
+    """Asyncio front-end: request coalescing + query cache + replicas.
+
+    Parameters
+    ----------
+    replicas:
+        One or more bit-identical :class:`FerexIndex` instances (same
+        configuration, same mutation history — verified at
+        construction), or a single index for an unreplicated server.
+    max_batch_size / max_wait_ms:
+        Coalescing knobs: flush a micro-batch at this size, or this
+        long after its oldest request, whichever comes first.
+    cache_size:
+        LRU query-cache capacity; ``0`` disables caching.
+    policy:
+        Replica routing policy: ``"least_loaded"`` (default) or
+        ``"round_robin"``.
+    """
+
+    def __init__(
+        self,
+        replicas: Union[FerexIndex, Sequence[FerexIndex]],
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+        policy: str = "least_loaded",
+    ):
+        if isinstance(replicas, FerexIndex):
+            replicas = [replicas]
+        self._router = ReplicaRouter(replicas, policy=policy)
+        self.stats = ServerStats()
+        self._cache = QueryCache(cache_size)
+        self._coalescer = RequestCoalescer(
+            self._dispatch,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            on_batch=self.stats.record_batch,
+        )
+        self._closed = False
+
+    @classmethod
+    def from_factory(
+        cls,
+        factory: Callable[[], FerexIndex],
+        n_replicas: int = 1,
+        **kwargs,
+    ) -> "FerexServer":
+        """Build a server over ``n_replicas`` indexes from a factory.
+
+        The factory must be deterministic (same configuration and seed
+        each call) — the parity check rejects replica sets that are not
+        bit-identical.
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        return cls([factory() for _ in range(n_replicas)], **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> ReplicaRouter:
+        return self._router
+
+    @property
+    def cache(self) -> QueryCache:
+        return self._cache
+
+    @property
+    def coalescer(self) -> RequestCoalescer:
+        return self._coalescer
+
+    @property
+    def n_replicas(self) -> int:
+        return self._router.n_replicas
+
+    @property
+    def write_generation(self) -> int:
+        """The primary replica's mutation epoch (cache-key component)."""
+        return self._router.primary.write_generation
+
+    def __repr__(self) -> str:
+        return (
+            f"FerexServer(replicas={self.n_replicas}, "
+            f"policy={self._router.policy!r}, "
+            f"max_batch_size={self._coalescer.max_batch_size}, "
+            f"cache={self._cache.capacity})"
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    async def search(self, query: np.ndarray, k: int = 1) -> SearchOutcome:
+        """Serve one query: a :class:`SearchOutcome` of ``(k,)`` ids and
+        distances, bit-identical to ``index.search(query[None], k)``.
+
+        Concurrent callers coalesce into micro-batches automatically;
+        repeated queries within one write-generation are answered from
+        the LRU cache.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        query = np.asarray(query, dtype=int)
+        # Full per-request validation happens *before* the query parks
+        # in the coalescer: a batched dispatch validates whole batches,
+        # and one malformed query must never fail the innocent callers
+        # coalesced alongside it.
+        primary = self._router.primary
+        if query.shape != (primary.dims,):
+            raise ValueError(
+                f"search() serves one ({primary.dims},) query, got "
+                f"{query.shape}"
+            )
+        hi = 1 << primary.bits
+        if query.min() < 0 or query.max() >= hi:
+            raise ValueError(f"query values outside [0, {hi})")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        start = time.perf_counter()
+        if self._cache.capacity and not self._router.poisoned:
+            key = QueryCache.key(query, k, self.write_generation)
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.stats.record_request(
+                    time.perf_counter() - start, cache_hit=True
+                )
+                # Writable copies, like the miss path hands out: a
+                # caller mutating its result in place must behave the
+                # same whether the cache was warm or not (and must
+                # never corrupt the stored entry).
+                return SearchOutcome(
+                    ids=entry[0].copy(), distances=entry[1].copy()
+                )
+        try:
+            ids, distances = await self._coalescer.submit(query, k)
+        except Exception:
+            self.stats.record_error()
+            raise
+        self.stats.record_request(time.perf_counter() - start)
+        return SearchOutcome(ids=ids, distances=distances)
+
+    async def search_many(
+        self, queries: np.ndarray, k: int = 1
+    ) -> SearchOutcome:
+        """Serve a whole batch concurrently (one task per query, so the
+        batch coalesces with any other traffic in flight); returns
+        stacked ``(n, k)`` outcomes in query order."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        queries = np.asarray(queries, dtype=int)
+        if queries.ndim != 2:
+            raise ValueError(
+                f"search_many() takes (n, dims) queries, got "
+                f"{queries.shape}"
+            )
+        if len(queries) == 0:
+            # Even the empty batch goes through the router's read
+            # admission: it must see poisoned-fleet errors and respect
+            # writer exclusion like every other read.
+            async with self._router.read() as replica:
+                return replica.index.search(queries, k=k)
+        results = await asyncio.gather(
+            *(self.search(query, k) for query in queries)
+        )
+        return SearchOutcome(
+            ids=np.stack([r.ids for r in results]),
+            distances=np.stack([r.distances for r in results]),
+        )
+
+    async def _dispatch(self, queries: np.ndarray, k: int):
+        """Coalescer flush target: route the micro-batch to a replica,
+        run the batched index search off-loop, populate the cache."""
+        async with self._router.read() as replica:
+            # The generation is stable for the whole batch: writers are
+            # excluded while any read holds the replica set.
+            generation = replica.index.write_generation
+            loop = asyncio.get_running_loop()
+            outcome = await loop.run_in_executor(
+                None, replica.index.search, queries, k
+            )
+            if self._cache.capacity:
+                for row, query in enumerate(queries):
+                    self._cache.put(
+                        QueryCache.key(query, k, generation),
+                        outcome.ids[row],
+                        outcome.distances[row],
+                    )
+            return outcome.ids, outcome.distances
+
+    # ------------------------------------------------------------------
+    # Write path (single writer, every replica, cache invalidated)
+    # ------------------------------------------------------------------
+    async def add(
+        self,
+        vectors: np.ndarray,
+        ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Store vectors on every replica; returns the assigned ids."""
+        # Cleared in a finally: a failed write mutated nothing (index
+        # mutations are atomic) so dropping the cache is merely
+        # conservative — but it must drop even then, so a write that
+        # *poisons* the fleet cannot leave stale hits behind.
+        try:
+            return await self._router.write(
+                lambda index: index.add(vectors, ids=ids)
+            )
+        finally:
+            self._cache.clear()
+
+    async def remove(self, ids: Sequence[int]) -> int:
+        """Tombstone ids on every replica."""
+        try:
+            return await self._router.write(
+                lambda index: index.remove(ids)
+            )
+        finally:
+            self._cache.clear()
+
+    async def compact(self) -> None:
+        """Physically re-program the live set on every replica."""
+        try:
+            await self._router.write(lambda index: index.compact())
+        finally:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Drain in-flight batches and refuse further requests."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._coalescer.close()
+
+    async def __aenter__(self) -> "FerexServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

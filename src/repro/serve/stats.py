@@ -1,0 +1,145 @@
+"""The serving-layer stats surface.
+
+:class:`ServerStats` is the one place the server records traffic:
+request latencies (submit to result, cache hits included), dispatched
+micro-batch sizes, and cache counters folded in at snapshot time.  The
+latency summary shape is shared with the eval layer
+(:func:`repro.eval.reporting.summarize_latencies`), so benchmark
+artifacts and live snapshots diff against each other directly.
+
+Like the query cache, stats are event-loop confined — every recording
+call happens on the server's asyncio thread, so plain counters suffice.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Callable, Optional
+
+from ..eval.reporting import format_table, summarize_latencies
+
+
+class ServerStats:
+    """Rolling serving metrics: qps, batch histogram, latency summary.
+
+    Parameters
+    ----------
+    max_latency_samples:
+        Latency ring-buffer depth; the percentile summary covers the
+        most recent window of this many requests.
+    clock:
+        Monotonic time source (seconds); injectable for deterministic
+        tests.
+    """
+
+    def __init__(
+        self,
+        max_latency_samples: int = 8192,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if max_latency_samples < 1:
+            raise ValueError("max_latency_samples must be >= 1")
+        self._clock = clock or time.perf_counter
+        self._latencies = deque(maxlen=max_latency_samples)
+        self.batch_sizes = Counter()
+        self.n_requests = 0
+        self.n_cache_hits = 0
+        self.n_batches = 0
+        self.n_errors = 0
+        self._started = self._clock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(
+        self, latency_s: float, cache_hit: bool = False
+    ) -> None:
+        """One completed ``search`` call (hit or dispatched)."""
+        self.n_requests += 1
+        if cache_hit:
+            self.n_cache_hits += 1
+        self._latencies.append(float(latency_s))
+
+    def record_batch(self, size: int) -> None:
+        """One coalesced micro-batch handed to the index."""
+        self.n_batches += 1
+        self.batch_sizes[int(size)] += 1
+
+    def record_error(self) -> None:
+        """One request that completed with an exception."""
+        self.n_errors += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`reset`)."""
+        return max(self._clock() - self._started, 1e-12)
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second over the whole window."""
+        return self.n_requests / self.elapsed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the query cache."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_cache_hits / self.n_requests
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean dispatched micro-batch size (0.0 before any dispatch)."""
+        dispatched = sum(
+            size * count for size, count in self.batch_sizes.items()
+        )
+        return dispatched / self.n_batches if self.n_batches else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-ready view of every counter, histogram and summary."""
+        return {
+            "elapsed_s": self.elapsed,
+            "n_requests": self.n_requests,
+            "qps": self.qps,
+            "n_cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "n_batches": self.n_batches,
+            "n_errors": self.n_errors,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "latency": summarize_latencies(self._latencies),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and restart the qps window."""
+        self._latencies.clear()
+        self.batch_sizes.clear()
+        self.n_requests = 0
+        self.n_cache_hits = 0
+        self.n_batches = 0
+        self.n_errors = 0
+        self._started = self._clock()
+
+    def format(self) -> str:
+        """Human-readable one-screen summary (ASCII table)."""
+        snap = self.snapshot()
+        latency = snap["latency"]
+        rows = [
+            ["requests", f"{snap['n_requests']}"],
+            ["qps", f"{snap['qps']:.1f}"],
+            ["cache hit rate", f"{snap['cache_hit_rate']:.1%}"],
+            ["batches", f"{snap['n_batches']}"],
+            ["mean batch size", f"{snap['mean_batch_size']:.1f}"],
+            ["p50 latency", f"{latency['p50'] * 1e3:.3f} ms"],
+            ["p95 latency", f"{latency['p95'] * 1e3:.3f} ms"],
+            ["errors", f"{snap['n_errors']}"],
+        ]
+        return format_table(
+            ["metric", "value"], rows, title="FerexServer stats"
+        )

@@ -32,7 +32,7 @@ class TestProgramming:
     def test_program_row_sets_thresholds(self):
         arr = FeReXArray(rows=2, physical_cols=3)
         arr.program_row(0, [0, 1, 2])
-        expected = [PARAMS.vth_level(l) for l in (0, 1, 2)]
+        expected = [PARAMS.vth_level(lv) for lv in (0, 1, 2)]
         assert np.allclose(arr.vth[0], expected)
 
     def test_erased_rows_at_highest_vth(self):
@@ -194,7 +194,7 @@ class TestTable2Search:
     def test_row_currents_match_dm(self, query):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[query]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         result = arr.search(voltages, multiples)
         assert np.allclose(
             result.row_units, TABLE2_DM[query], atol=0.05
@@ -204,7 +204,7 @@ class TestTable2Search:
     def test_winner_is_matching_row(self, query):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[query]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         assert arr.search(voltages, multiples).winner == query
 
 
@@ -240,7 +240,7 @@ class TestSearchMechanics:
     def test_ranked_rows_sorted_by_current(self):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[0]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         result = arr.search(voltages, multiples)
         ranked = result.ranked_rows()
         currents = result.row_currents[ranked]
@@ -251,7 +251,7 @@ class TestMaskedSearch:
     def test_masked_row_cannot_win(self):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[2]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         active = np.array([True, True, False, True])
         result = arr.search(voltages, multiples, active_rows=active)
         assert result.winner != 2
@@ -259,7 +259,7 @@ class TestMaskedSearch:
     def test_search_k_returns_distinct_rows(self):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[1]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         results = arr.search_k(voltages, multiples, 3)
         winners = [r.winner for r in results]
         assert len(set(winners)) == 3
@@ -268,7 +268,7 @@ class TestMaskedSearch:
     def test_search_k_bounds(self):
         arr = table2_array()
         levels, multiples = TABLE2_SEARCH[1]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         with pytest.raises(ValueError):
             arr.search_k(voltages, multiples, 0)
         with pytest.raises(ValueError):
@@ -286,7 +286,7 @@ class TestVariationInjection:
         store = {0: [2, 2, 0], 1: [2, 0, 2], 2: [0, 2, 2], 3: [1, 1, 1]}
         varied.program_matrix(np.array([store[v] for v in range(4)]))
         levels, multiples = TABLE2_SEARCH[0]
-        voltages = [PARAMS.search_voltage(l) for l in levels]
+        voltages = [PARAMS.search_voltage(lv) for lv in levels]
         i_ideal = ideal.search(voltages, multiples).row_currents
         i_varied = varied.search(voltages, multiples).row_currents
         assert not np.allclose(i_ideal, i_varied, rtol=1e-3, atol=0)

@@ -3,7 +3,6 @@
 import itertools
 
 import numpy as np
-import pytest
 
 from repro.core.dm import DistanceMatrix
 from repro.core.feasibility import (

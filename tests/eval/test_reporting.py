@@ -1,8 +1,15 @@
 """Report formatting."""
 
+import numpy as np
 import pytest
 
-from repro.eval.reporting import engineering, format_series, format_table
+from repro.eval.reporting import (
+    engineering,
+    format_series,
+    format_table,
+    percentile,
+    summarize_latencies,
+)
 
 
 class TestFormatTable:
@@ -48,6 +55,46 @@ class TestFormatSeries:
     def test_missing_y_rejected(self):
         with pytest.raises(ValueError):
             format_series("x", "y", [[1]])
+
+
+class TestLatencySummaries:
+    def test_percentile_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(101).tolist()
+        for q in (0, 50, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_accepts_lists_arrays_and_deques(self):
+        from collections import deque
+
+        for container in (
+            [1.0, 2.0, 3.0],
+            np.array([1.0, 2.0, 3.0]),
+            deque([1.0, 2.0, 3.0]),
+        ):
+            assert percentile(container, 50) == pytest.approx(2.0)
+            assert summarize_latencies(container)["count"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile(np.empty(0), 50)
+
+    def test_empty_summary_is_zeros(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0 and summary["p95"] == 0.0
+
+    def test_summary_shape(self):
+        summary = summarize_latencies([0.2, 0.1, 0.4, 0.3])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["max"] == pytest.approx(0.4)
 
 
 class TestEngineering:

@@ -1,7 +1,6 @@
 """SearchBackend implementations: protocol, ordering, GPU estimates."""
 
 import numpy as np
-import pytest
 
 from repro.index import (
     BACKENDS,

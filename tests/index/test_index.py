@@ -105,13 +105,34 @@ class TestSearch:
         ids, distances = index.search(vectors[[7]], k=1)
         assert ids[0, 0] == 7
 
-    def test_k_capped_to_live_rows(self, vectors, queries):
-        index = make_index()
+    @pytest.mark.parametrize("backend", ["ferex", "exact", "gpu"])
+    def test_k_beyond_live_rows_pads_consistently(
+        self, vectors, queries, backend
+    ):
+        """Satellite regression: every backend pads ``k > live rows``
+        with (-1, inf) sentinels and keeps the (n, k) output shape."""
+        index = make_index(backend=backend)
         index.add(vectors[:5])
-        ids, _ = index.search(queries, k=10)
+        ids, distances = index.search(queries, k=10)
+        assert ids.shape == distances.shape == (6, 10)
+        # each query sees every stored vector exactly once, then pads
+        assert all(sorted(row) == list(range(5)) for row in ids[:, :5])
+        assert (ids[:, 5:] == -1).all()
+        assert np.isinf(distances[:, 5:]).all()
+        assert np.isfinite(distances[:, :5]).all()
+
+    @pytest.mark.parametrize("backend", ["ferex", "exact", "gpu"])
+    def test_padding_tracks_tombstones(self, vectors, queries, backend):
+        """The pad threshold is the *live* row count: tombstoned rows
+        neither compete nor count."""
+        index = make_index(backend=backend)
+        index.add(vectors[:5])
+        index.remove([1, 3])
+        ids, distances = index.search(queries, k=5)
         assert ids.shape == (6, 5)
-        # each query sees every stored vector exactly once
-        assert all(sorted(row) == list(range(5)) for row in ids)
+        assert all(sorted(row) == [0, 2, 4] for row in ids[:, :3])
+        assert (ids[:, 3:] == -1).all()
+        assert np.isinf(distances[:, 3:]).all()
 
     def test_empty_index_raises_not_programmed(self, queries):
         index = make_index()
@@ -134,13 +155,13 @@ class TestSearch:
                 fn()
 
     def test_empty_query_batch_keeps_k_width(self, vectors):
-        """(0, k') shapes, so downstream column indexing stays valid."""
+        """(0, k) shapes, so downstream column indexing stays valid."""
         index = make_index()
         index.add(vectors)
         ids, distances = index.search(np.empty((0, 8), dtype=int), k=3)
         assert ids.shape == (0, 3) and distances.shape == (0, 3)
         ids, _ = index.search(np.empty((0, 8), dtype=int), k=100)
-        assert ids.shape == (0, 40)  # capped like a non-empty batch
+        assert ids.shape == (0, 100)  # padded like a non-empty batch
 
     def test_hdc_empty_predict_survives(self):
         """Regression: HDC ferex inference on an empty batch indexes
@@ -224,6 +245,64 @@ class TestRemoveCompact:
         index.add(vectors[2:3], ids=[5])  # freed id may return
         ids, _ = index.search(vectors[[2]], k=1)
         assert ids[0, 0] == 5
+
+
+class TestGenerationFingerprint:
+    def test_generation_bumps_on_every_mutation(self, vectors):
+        index = make_index()
+        assert index.write_generation == 0
+        index.add(vectors[:4])
+        assert index.write_generation == 1
+        index.add(vectors[4:6])
+        assert index.write_generation == 2
+        index.remove([0])
+        assert index.write_generation == 3
+        index.compact()
+        assert index.write_generation == 4
+
+    def test_failed_mutations_leave_generation_unchanged(self, vectors):
+        index = make_index()
+        index.add(vectors[:4])
+        generation = index.write_generation
+        with pytest.raises(ValueError):
+            index.add(vectors[:2], ids=[1, 1])
+        with pytest.raises(KeyError):
+            index.remove([999])
+        assert index.write_generation == generation
+
+    def test_fingerprint_tracks_mutation_history(self, vectors):
+        a, b = make_index(), make_index()
+        assert a.fingerprint() == b.fingerprint()
+        a.add(vectors[:4])
+        assert a.fingerprint() != b.fingerprint()
+        b.add(vectors[:4])
+        assert a.fingerprint() == b.fingerprint()
+        a.remove([2])
+        b.remove([2])
+        assert a.fingerprint() == b.fingerprint()
+        a.add(vectors[4:5])
+        b.add(vectors[5:6])  # same op, different payload
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_sees_configuration(self):
+        assert (
+            make_index(bits=2).fingerprint()
+            != make_index(bits=1).fingerprint()
+        )
+        assert (
+            make_index(backend="exact").fingerprint()
+            != make_index(backend="ferex").fingerprint()
+        )
+
+    def test_load_matches_load_not_source(self, vectors, tmp_path):
+        index = make_index()
+        index.add(vectors[:6])
+        index.remove([1])
+        index.save(tmp_path / "idx.npz")
+        first = FerexIndex.load(tmp_path / "idx.npz")
+        second = FerexIndex.load(tmp_path / "idx.npz")
+        assert first.fingerprint() == second.fingerprint()
+        assert first.write_generation == second.write_generation > 0
 
 
 class TestIntrospection:

@@ -1,0 +1,174 @@
+"""Property test: FerexIndex vs a brute-force shadow store.
+
+Hypothesis-style randomised sequences (seeded, so failures replay): an
+interleaved stream of ``add`` / ``remove`` / ``compact`` / ``search``
+operations runs against both a :class:`FerexIndex` (ferex backend,
+ideal devices) and a dead-simple shadow — a dict of id -> vector plus
+the insertion order.  After every search the index must agree with the
+shadow's brute-force answer under the backend-parity contract (see
+``test_parity_property.py``): the true integer distance at every rank
+is equal, returned ids are live and distinct, the (-1, inf) padding
+masks match, and on queries whose relevant distances are tie-free the
+ids match exactly (tied rows may legitimately order differently — the
+analog tie-break follows per-cell leakage, not insertion position).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import get_metric
+from repro.core.engine import NotProgrammedError
+from repro.index import FerexIndex
+
+DIMS = 6
+BITS = 2
+BANK_ROWS = 8
+
+
+class ShadowStore:
+    """Brute-force reference: insertion-ordered (id, vector, alive)."""
+
+    def __init__(self, metric, bits):
+        self.metric = get_metric(metric)
+        self.bits = bits
+        self.rows = []  # [id, vector, alive] in physical order
+        self.by_id = {}
+        self.next_id = 0
+
+    @property
+    def live(self):
+        return [row for row in self.rows if row[2]]
+
+    def add(self, vectors):
+        ids = []
+        for vector in vectors:
+            id_ = self.next_id
+            self.next_id += 1
+            row = [id_, np.array(vector), True]
+            self.rows.append(row)
+            self.by_id[id_] = row
+            ids.append(id_)
+        return ids
+
+    def remove(self, ids):
+        for id_ in ids:
+            self.by_id.pop(id_)[2] = False
+
+    def compact(self):
+        self.rows = self.live
+
+    def table(self, queries):
+        """(live ids, (n_queries, n_live) exact distance table)."""
+        live = self.live
+        vectors = np.stack([row[1] for row in live])
+        ids = np.array([row[0] for row in live], dtype=np.int64)
+        distances = self.metric.pairwise(
+            np.asarray(queries), vectors, self.bits
+        ).astype(float)
+        return ids, distances
+
+    def search(self, queries, k):
+        """Exact distances, stable (distance, position) order, padded
+        with (-1, inf) beyond the live row count."""
+        ids, distances = self.table(queries)
+        order = np.argsort(distances, axis=1, kind="stable")
+        k_eff = min(k, len(ids))
+        top = order[:, :k_eff]
+        out_ids = np.concatenate(
+            [
+                ids[top],
+                np.full((len(queries), k - k_eff), -1, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        out_distances = np.concatenate(
+            [
+                np.take_along_axis(distances, top, axis=1),
+                np.full((len(queries), k - k_eff), np.inf),
+            ],
+            axis=1,
+        )
+        return out_ids, out_distances
+
+
+@pytest.mark.parametrize("metric", ["hamming", "manhattan"])
+@pytest.mark.parametrize("seed", [0, 7, 2024])
+def test_interleaved_mutations_match_shadow(metric, seed):
+    rng = np.random.default_rng(seed)
+    index = FerexIndex(
+        dims=DIMS, metric=metric, bits=BITS, bank_rows=BANK_ROWS
+    )
+    shadow = ShadowStore(metric, BITS)
+
+    for step in range(30):
+        op = rng.choice(["add", "add", "remove", "compact", "search"])
+        if op == "add":
+            n = int(rng.integers(1, 6))
+            vectors = rng.integers(0, 1 << BITS, size=(n, DIMS))
+            got = index.add(vectors)
+            want = shadow.add(vectors)
+            assert got.tolist() == want, f"step {step} ids diverged"
+        elif op == "remove" and shadow.by_id:
+            population = list(shadow.by_id)
+            take = int(rng.integers(1, min(3, len(population)) + 1))
+            victims = rng.choice(population, size=take, replace=False)
+            victims = [int(v) for v in victims]
+            assert index.remove(victims) == len(victims)
+            shadow.remove(victims)
+        elif op == "compact":
+            index.compact()
+            shadow.compact()
+        elif op == "search":
+            queries = rng.integers(0, 1 << BITS, size=(4, DIMS))
+            if not shadow.live:
+                with pytest.raises(NotProgrammedError):
+                    index.search(queries, k=1)
+                continue
+            k = int(rng.integers(1, len(shadow.live) + 3))
+            got_ids, got_distances = index.search(queries, k=k)
+            want_ids, want_distances = shadow.search(queries, k=k)
+            assert got_ids.shape == want_ids.shape == (4, k)
+            # Padding masks agree exactly.
+            pad = want_ids == -1
+            assert np.array_equal(got_ids == -1, pad)
+            assert np.array_equal(np.isinf(got_distances), pad)
+            k_eff = k - int(pad[0].sum())
+            # Returned ids are live and distinct within each row.
+            live_ids, table = shadow.table(queries)
+            pos_of = {int(id_): i for i, id_ in enumerate(live_ids)}
+            for row in range(4):
+                returned = [int(i) for i in got_ids[row, :k_eff]]
+                assert len(set(returned)) == k_eff
+                assert all(i in pos_of for i in returned)
+            # The true integer distance at every rank matches brute
+            # force (analog readings order ties by leakage, so tied ids
+            # may permute — the distances may not).
+            got_pos = np.vectorize(pos_of.__getitem__)(
+                got_ids[:, :k_eff]
+            )
+            got_true = np.take_along_axis(table, got_pos, axis=1)
+            assert np.array_equal(
+                got_true, want_distances[:, :k_eff]
+            ), (
+                f"step {step}: rank distances diverged "
+                f"(metric={metric}, seed={seed})"
+            )
+            # Tie-free queries must match id-for-id.
+            sorted_d = np.sort(table, axis=1)
+            width = min(k_eff + 1, table.shape[1])
+            tie_free = np.array(
+                [
+                    len(np.unique(row[:width])) == width
+                    for row in sorted_d
+                ]
+            )
+            assert np.array_equal(
+                got_ids[tie_free], want_ids[tie_free]
+            ), (
+                f"step {step}: tie-free ids diverged "
+                f"(metric={metric}, seed={seed})"
+            )
+
+    # End state: ntotal and the live id set agree.
+    assert index.ntotal == len(shadow.live)
+    assert set(index._id_to_pos) == set(shadow.by_id)

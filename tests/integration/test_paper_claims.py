@@ -5,7 +5,6 @@ versions wired into the unit suite so regressions surface immediately.
 """
 
 import numpy as np
-import pytest
 
 from repro.arch.timing import TimingModel
 from repro.arch.energy import EnergyModel

@@ -6,7 +6,6 @@ metrics and check each behaves as its mathematical definition demands.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.engine import FeReX
 

@@ -9,7 +9,6 @@ wider instance family than the three paper metrics.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dm import DistanceMatrix

@@ -1,0 +1,43 @@
+"""Shared fixtures for the serving-layer suite.
+
+The suite runs plain-asyncio (no pytest-asyncio dependency): tests
+define a coroutine and run it through ``asyncio.run``.
+"""
+
+import pytest
+
+from repro.index import FerexIndex
+
+DIMS = 8
+BITS = 2
+
+
+@pytest.fixture
+def stored(rng):
+    return rng.integers(0, 1 << BITS, size=(40, DIMS))
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.integers(0, 1 << BITS, size=(24, DIMS))
+
+
+@pytest.fixture
+def make_index(stored):
+    """Deterministic index factory: every call yields a bit-identical
+    replica (same config, same seed, same insertion order)."""
+
+    def factory(backend="ferex", seed=11, preload=True):
+        index = FerexIndex(
+            dims=DIMS,
+            metric="hamming",
+            bits=BITS,
+            backend=backend,
+            bank_rows=16,
+            seed=seed,
+        )
+        if preload:
+            index.add(stored)
+        return index
+
+    return factory

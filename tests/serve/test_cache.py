@@ -1,0 +1,160 @@
+"""QueryCache: LRU behaviour, keying, write-generation invalidation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import FerexServer, QueryCache
+
+
+def entry(i):
+    return np.array([i]), np.array([float(i)])
+
+
+class TestLRU:
+    def test_hit_returns_stored_rows(self):
+        cache = QueryCache(capacity=4)
+        key = QueryCache.key(np.array([1, 2, 3]), 2, 0)
+        assert cache.get(key) is None
+        cache.put(key, *entry(7))
+        ids, distances = cache.get(key)
+        assert ids.tolist() == [7] and distances.tolist() == [7.0]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = QueryCache(capacity=2)
+        keys = [
+            QueryCache.key(np.array([i]), 1, 0) for i in range(3)
+        ]
+        cache.put(keys[0], *entry(0))
+        cache.put(keys[1], *entry(1))
+        assert cache.get(keys[0]) is not None  # refresh 0: 1 is now LRU
+        cache.put(keys[2], *entry(2))
+        assert cache.get(keys[1]) is None  # evicted
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+        assert cache.evictions == 1
+
+    def test_key_canonicalises_dtype_but_not_value(self):
+        base = QueryCache.key(np.array([1, 2], dtype=np.int32), 1, 0)
+        assert QueryCache.key([1, 2], 1, 0) == base
+        assert QueryCache.key(np.array([1, 3]), 1, 0) != base
+        assert QueryCache.key(np.array([1, 2]), 2, 0) != base
+        assert QueryCache.key(np.array([1, 2]), 1, 1) != base
+
+    def test_capacity_zero_disables_caching(self):
+        cache = QueryCache(capacity=0)
+        key = QueryCache.key(np.array([1]), 1, 0)
+        cache.put(key, *entry(1))
+        assert len(cache) == 0 and cache.get(key) is None
+        with pytest.raises(ValueError):
+            QueryCache(capacity=-1)
+
+    def test_cached_rows_are_frozen(self):
+        cache = QueryCache(capacity=2)
+        key = QueryCache.key(np.array([1]), 1, 0)
+        cache.put(key, *entry(3))
+        ids, _ = cache.get(key)
+        with pytest.raises(ValueError):
+            ids[0] = 99
+
+    def test_hit_and_miss_results_equally_mutable(
+        self, make_index, queries
+    ):
+        """A caller mutating its result in place must see identical
+        behaviour cold and warm — and never corrupt the cache."""
+
+        async def main():
+            async with FerexServer(
+                make_index(), max_batch_size=4, max_wait_ms=0.5
+            ) as server:
+                miss = await server.search(queries[0], k=2)
+                miss.ids[0] = -77  # writable on a miss...
+                hit = await server.search(queries[0], k=2)
+                assert hit.ids[0] != -77  # ...without poisoning anyone
+                hit.ids[0] = -88  # ...and equally writable on a hit
+                again = await server.search(queries[0], k=2)
+                assert again.ids[0] not in (-77, -88)
+
+        asyncio.run(main())
+
+
+class TestServerInvalidation:
+    """Every index mutation must invalidate served results — both via
+    the generation key component and the explicit write-path clear."""
+
+    def run_mutation(self, make_index, stored, queries, mutate):
+        async def main():
+            async with FerexServer(
+                make_index(), max_batch_size=8, max_wait_ms=1
+            ) as server:
+                query = queries[0]
+                before = await server.search(query, k=3)
+                again = await server.search(query, k=3)
+                assert server.cache.hits >= 1
+                assert np.array_equal(before.ids, again.ids)
+                await mutate(server)
+                assert len(server.cache) == 0  # explicit clear
+                after = await server.search(query, k=3)
+                expected = server.router.primary.search(
+                    query[None], k=3
+                )
+                assert np.array_equal(after.ids, expected.ids[0])
+                assert np.array_equal(
+                    after.distances, expected.distances[0]
+                )
+                return before, after
+
+        return asyncio.run(main())
+
+    def test_add_invalidates(self, make_index, stored, queries, rng):
+        # A new vector equal to the query must displace the old winner.
+        query = queries[0]
+
+        async def mutate(server):
+            await server.add(query[None])
+
+        before, after = self.run_mutation(
+            make_index, stored, queries, mutate
+        )
+        assert after.ids[0] == 40  # the vector just added wins
+        assert before.ids[0] != after.ids[0]
+
+    def test_remove_invalidates(self, make_index, stored, queries):
+        async def mutate(server):
+            winner = int(
+                (await server.search(queries[0], k=1)).ids[0]
+            )
+            await server.remove([winner])
+
+        before, after = self.run_mutation(
+            make_index, stored, queries, mutate
+        )
+        assert before.ids[0] not in after.ids
+
+    def test_compact_invalidates(self, make_index, stored, queries):
+        async def mutate(server):
+            await server.remove([1, 2, 3])
+            await server.compact()
+
+        self.run_mutation(make_index, stored, queries, mutate)
+
+    def test_generation_key_shields_stale_entries(
+        self, make_index, queries
+    ):
+        """Even without the explicit clear, a stale entry is unreachable:
+        the lookup key carries the current write generation."""
+        index = make_index()
+        cache = QueryCache(capacity=8)
+        key_before = QueryCache.key(
+            queries[0], 3, index.write_generation
+        )
+        outcome = index.search(queries[0][None], k=3)
+        cache.put(key_before, outcome.ids[0], outcome.distances[0])
+        index.add(queries[0][None])
+        key_after = QueryCache.key(
+            queries[0], 3, index.write_generation
+        )
+        assert key_after != key_before
+        assert cache.get(key_after) is None

@@ -1,0 +1,256 @@
+"""RequestCoalescer: micro-batching, flush triggers, cancellation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import RequestCoalescer
+
+
+class Recorder:
+    """Dispatch stub: answers with (query-sum, k) rows and records every
+    batch it sees."""
+
+    def __init__(self, delay_s=0.0, fail=False):
+        self.batches = []
+        self.delay_s = delay_s
+        self.fail = fail
+
+    async def __call__(self, queries, k):
+        self.batches.append((np.array(queries), k))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("backend exploded")
+        n = len(queries)
+        ids = np.tile(queries.sum(axis=1)[:, None], (1, k))
+        distances = np.full((n, k), float(k))
+        return ids, distances
+
+
+def test_batch_flushes_at_max_size():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=4, max_wait_ms=10_000
+        )
+        queries = [np.full(3, i) for i in range(4)]
+        results = await asyncio.gather(
+            *(coalescer.submit(q, 2) for q in queries)
+        )
+        # One dispatch of all four, despite the enormous wait knob.
+        assert len(recorder.batches) == 1
+        assert len(recorder.batches[0][0]) == 4
+        for i, (ids, distances) in enumerate(results):
+            assert ids.tolist() == [3 * i, 3 * i]
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_partial_batch_flushes_after_max_wait():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=64, max_wait_ms=5
+        )
+        ids, distances = await asyncio.wait_for(
+            coalescer.submit(np.zeros(3, dtype=int), 1), timeout=5
+        )
+        assert len(recorder.batches) == 1
+        assert ids.tolist() == [0]
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_distinct_k_split_into_separate_dispatches():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=8, max_wait_ms=1
+        )
+        results = await asyncio.gather(
+            *(
+                coalescer.submit(np.full(3, i), 1 + (i % 2))
+                for i in range(8)
+            )
+        )
+        ks = sorted(k for _, k in recorder.batches)
+        assert ks == [1, 2]
+        for i, (ids, _) in enumerate(results):
+            assert ids.shape == (1 + (i % 2),)
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_oversize_wave_splits_into_capped_batches():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=4, max_wait_ms=1
+        )
+        await asyncio.gather(
+            *(coalescer.submit(np.full(3, i), 1) for i in range(10))
+        )
+        sizes = sorted(len(batch) for batch, _ in recorder.batches)
+        assert sum(sizes) == 10
+        assert max(sizes) <= 4
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_cancelled_caller_drops_out_before_dispatch():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=8, max_wait_ms=20
+        )
+        doomed = asyncio.ensure_future(
+            coalescer.submit(np.zeros(3, dtype=int), 1)
+        )
+        survivor = asyncio.ensure_future(
+            coalescer.submit(np.ones(3, dtype=int), 1)
+        )
+        await asyncio.sleep(0)  # both parked, nothing flushed yet
+        doomed.cancel()
+        ids, _ = await survivor
+        assert ids.tolist() == [3]
+        with pytest.raises(asyncio.CancelledError):
+            await doomed
+        # The cancelled query never reached the backend.
+        assert len(recorder.batches) == 1
+        assert len(recorder.batches[0][0]) == 1
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_timeout_mid_dispatch_leaves_batch_unharmed():
+    recorder = Recorder(delay_s=0.05)
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=2, max_wait_ms=1
+        )
+        slowpoke = coalescer.submit(np.zeros(3, dtype=int), 1)
+        survivor = asyncio.ensure_future(
+            coalescer.submit(np.ones(3, dtype=int), 1)
+        )
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(slowpoke, timeout=0.01)
+        ids, _ = await survivor
+        assert ids.tolist() == [3]
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_dispatch_error_propagates_to_every_caller():
+    recorder = Recorder(fail=True)
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=2, max_wait_ms=1
+        )
+        results = await asyncio.gather(
+            coalescer.submit(np.zeros(3, dtype=int), 1),
+            coalescer.submit(np.ones(3, dtype=int), 1),
+            return_exceptions=True,
+        )
+        assert all(isinstance(r, RuntimeError) for r in results)
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_ragged_batch_resolves_every_future():
+    """Regression: a failure while *assembling* the batch (np.stack on
+    ragged queries) must propagate to every caller instead of leaving
+    them awaiting forever."""
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=2, max_wait_ms=1
+        )
+        results = await asyncio.wait_for(
+            asyncio.gather(
+                coalescer.submit(np.zeros(3, dtype=int), 1),
+                coalescer.submit(np.zeros(4, dtype=int), 1),  # ragged
+                return_exceptions=True,
+            ),
+            timeout=5,
+        )
+        assert all(isinstance(r, ValueError) for r in results)
+        assert recorder.batches == []  # never reached the backend
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_short_dispatch_result_resolves_every_future():
+    """Regression: a dispatch returning fewer rows than the batch must
+    fail every caller instead of hanging the overflow."""
+
+    async def short_dispatch(queries, k):
+        return (
+            np.zeros((len(queries) - 1, k), dtype=np.int64),
+            np.zeros((len(queries) - 1, k)),
+        )
+
+    async def main():
+        coalescer = RequestCoalescer(
+            short_dispatch, max_batch_size=2, max_wait_ms=1
+        )
+        results = await asyncio.wait_for(
+            asyncio.gather(
+                coalescer.submit(np.zeros(3, dtype=int), 1),
+                coalescer.submit(np.ones(3, dtype=int), 1),
+                return_exceptions=True,
+            ),
+            timeout=5,
+        )
+        assert all(isinstance(r, ValueError) for r in results)
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_close_flushes_parked_requests_then_refuses():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=64, max_wait_ms=60_000
+        )
+        parked = asyncio.ensure_future(
+            coalescer.submit(np.zeros(3, dtype=int), 1)
+        )
+        await asyncio.sleep(0)
+        await coalescer.close()
+        ids, _ = await parked
+        assert ids.tolist() == [0]
+        with pytest.raises(RuntimeError, match="closed"):
+            await coalescer.submit(np.zeros(3, dtype=int), 1)
+
+    asyncio.run(main())
+
+
+def test_knob_validation():
+    async def main():
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            RequestCoalescer(recorder, max_batch_size=0)
+        with pytest.raises(ValueError):
+            RequestCoalescer(recorder, max_wait_ms=-1)
+
+    asyncio.run(main())

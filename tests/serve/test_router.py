@@ -1,0 +1,220 @@
+"""ReplicaRouter: policies, single-writer discipline, parity checks."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import ReplicaParityError, ReplicaRouter
+
+
+class TestConstruction:
+    def test_rejects_empty_and_unknown_policy(self, make_index):
+        with pytest.raises(ValueError):
+            ReplicaRouter([])
+        with pytest.raises(ValueError):
+            ReplicaRouter([make_index()], policy="random")
+
+    def test_rejects_duplicate_index_objects(self, make_index):
+        """The same object twice would take every write twice and the
+        parity check could never see it."""
+        index = make_index()
+        with pytest.raises(ValueError, match="distinct"):
+            ReplicaRouter([index, index])
+
+    def test_rejects_diverged_replicas_up_front(self, make_index, rng):
+        honest = make_index()
+        liar = make_index()
+        liar.add(rng.integers(0, 4, size=(1, 8)))
+        with pytest.raises(ReplicaParityError):
+            ReplicaRouter([honest, liar])
+
+
+class TestRouting:
+    def test_round_robin_cycles_evenly(self, make_index):
+        async def main():
+            router = ReplicaRouter(
+                [make_index() for _ in range(3)], policy="round_robin"
+            )
+            picked = []
+            for _ in range(6):
+                async with router.read() as replica:
+                    picked.append(replica.ordinal)
+            assert picked == [0, 1, 2, 0, 1, 2]
+            assert [r.served for r in router.replicas] == [2, 2, 2]
+
+        asyncio.run(main())
+
+    def test_least_loaded_avoids_busy_replica(self, make_index):
+        async def main():
+            router = ReplicaRouter(
+                [make_index() for _ in range(2)], policy="least_loaded"
+            )
+            async with router.read() as busy:
+                others = set()
+                for _ in range(4):
+                    async with router.read() as replica:
+                        others.add(replica.ordinal)
+                assert others == {1 - busy.ordinal}
+
+        asyncio.run(main())
+
+    def test_least_loaded_spreads_when_idle(self, make_index):
+        async def main():
+            router = ReplicaRouter(
+                [make_index() for _ in range(2)], policy="least_loaded"
+            )
+            picked = []
+            for _ in range(4):
+                async with router.read() as replica:
+                    picked.append(replica.ordinal)
+            assert sorted(set(picked)) == [0, 1]
+
+        asyncio.run(main())
+
+
+class TestWrites:
+    def test_write_applies_to_every_replica_bit_identically(
+        self, make_index, rng, queries
+    ):
+        async def main():
+            router = ReplicaRouter([make_index() for _ in range(3)])
+            extra = rng.integers(0, 4, size=(5, 8))
+            ids = await router.write(lambda index: index.add(extra))
+            assert ids.tolist() == list(range(40, 45))
+            fingerprints = {
+                replica.index.fingerprint()
+                for replica in router.replicas
+            }
+            assert len(fingerprints) == 1
+            outcomes = [
+                replica.index.search(queries, k=3)
+                for replica in router.replicas
+            ]
+            for outcome in outcomes[1:]:
+                assert np.array_equal(outcome.ids, outcomes[0].ids)
+                assert np.array_equal(
+                    outcome.distances, outcomes[0].distances
+                )
+
+        asyncio.run(main())
+
+    def test_write_waits_for_inflight_reads(self, make_index):
+        events = []
+
+        async def main():
+            router = ReplicaRouter([make_index() for _ in range(2)])
+
+            async def reader():
+                async with router.read():
+                    events.append("read-start")
+                    await asyncio.sleep(0.02)
+                    events.append("read-end")
+
+            async def writer():
+                await asyncio.sleep(0.005)  # let the reader in first
+
+                def mutate(index):
+                    events.append("write")
+                    return index.remove([0])
+
+                await router.write(mutate)
+
+            await asyncio.gather(reader(), writer())
+            assert events == ["read-start", "read-end", "write", "write"]
+
+        asyncio.run(main())
+
+    def test_reads_wait_for_active_writer(self, make_index):
+        events = []
+
+        async def main():
+            router = ReplicaRouter([make_index()])
+
+            async def writer():
+                def mutate(index):
+                    events.append("write")
+                    return index.remove([0])
+
+                await router.write(mutate)
+                await asyncio.sleep(0.02)
+
+            async def reader():
+                await asyncio.sleep(0.005)
+                async with router.read():
+                    events.append("read")
+
+            await asyncio.gather(writer(), reader())
+            assert events == ["write", "read"]
+
+        asyncio.run(main())
+
+    def test_rejected_write_leaves_replicas_aligned(self, make_index):
+        async def main():
+            router = ReplicaRouter([make_index() for _ in range(2)])
+            with pytest.raises(KeyError):
+                await router.write(lambda index: index.remove([999]))
+            router.check_parity()
+            generations = {
+                replica.index.write_generation
+                for replica in router.replicas
+            }
+            assert generations == {1}  # the preload add only
+
+        asyncio.run(main())
+
+    def test_diverging_write_raises_parity_error_and_poisons(
+        self, make_index
+    ):
+        async def main():
+            router = ReplicaRouter([make_index() for _ in range(2)])
+            seen = []
+
+            def mutate(index):
+                seen.append(index)
+                # Second replica gets a different payload: divergence.
+                payload = np.full((1, 8), len(seen) % 2, dtype=int)
+                return index.add(payload)
+
+            with pytest.raises(ReplicaParityError):
+                await router.write(mutate)
+            # A divergent fleet must never serve replica-dependent
+            # answers: both paths are refused from here on.
+            with pytest.raises(ReplicaParityError):
+                async with router.read():
+                    pass
+            with pytest.raises(ReplicaParityError):
+                await router.write(lambda index: index.remove([0]))
+
+        asyncio.run(main())
+
+    def test_cancelled_write_completes_the_whole_fleet(self, make_index):
+        """Regression: a caller timing out mid-write must not leave
+        some replicas mutated and others not — the shielded fleet
+        mutation runs to completion (parity check included) before the
+        cancellation propagates."""
+        import time as time_mod
+
+        async def main():
+            router = ReplicaRouter([make_index() for _ in range(2)])
+
+            def slow_mutate(index):
+                time_mod.sleep(0.03)  # in the executor, per replica
+                return index.add(np.full((1, 8), 2, dtype=int))
+
+            with pytest.raises(asyncio.TimeoutError):
+                # Times out while replica 0 is still being written.
+                await asyncio.wait_for(
+                    router.write(slow_mutate), timeout=0.01
+                )
+            # Both replicas finished the write and still agree.
+            router.check_parity()
+            generations = {
+                replica.index.write_generation
+                for replica in router.replicas
+            }
+            assert generations == {2}  # preload add + slow_mutate
+            async with router.read() as replica:
+                assert replica.index.ntotal == 41
+
+        asyncio.run(main())
