@@ -46,6 +46,7 @@ _LAZY_EXPORTS = {
     "ExactBackend": ("repro.index", "ExactBackend"),
     "GPUBackend": ("repro.index", "GPUBackend"),
     "FerexServer": ("repro.serve", "FerexServer"),
+    "ProcReplicaPool": ("repro.serve", "ProcReplicaPool"),
     "QueryCache": ("repro.serve", "QueryCache"),
     "ReplicaRouter": ("repro.serve", "ReplicaRouter"),
     "RequestCoalescer": ("repro.serve", "RequestCoalescer"),

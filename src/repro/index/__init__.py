@@ -13,7 +13,7 @@ from .backends import (
     GPUBackend,
     SearchBackend,
 )
-from .index import FerexIndex, SearchOutcome
+from .index import FerexIndex, SearchOutcome, state_digest
 
 __all__ = [
     "BACKENDS",
@@ -23,4 +23,5 @@ __all__ = [
     "GPUBackend",
     "SearchBackend",
     "SearchOutcome",
+    "state_digest",
 ]

@@ -22,6 +22,14 @@ the LTA competition until ``compact`` physically re-programs the live
 set; ``save``/``load`` persist stored vectors, encoding configuration
 and variation seeds so an index survives process restarts with
 bit-identical search results.
+
+``export_state``/``from_state`` expose the same snapshot as in-memory
+arrays instead of an ``.npz`` file: a publisher process can place the
+arrays in ``multiprocessing.shared_memory`` segments and N reader
+processes can attach them zero-copy (see :mod:`repro.serve.shm`), each
+rebuilding a read-only replica whose searches are bit-identical to the
+source index — the foundation of the multi-process replica pool
+(:class:`repro.serve.ProcReplicaPool`).
 """
 
 from __future__ import annotations
@@ -39,6 +47,38 @@ from .backends import BACKENDS, FerexBackend, SearchBackend
 
 #: Bumped when the on-disk layout changes.
 _FORMAT_VERSION = 1
+
+
+def _buffer(array: np.ndarray) -> "bytes | memoryview":
+    """Bytes-like view of an array for digest updates — zero-copy for
+    the (usual) C-contiguous case, so fingerprinting a large index
+    never materialises a second copy of its state."""
+    if array.flags.c_contiguous:
+        return array.data
+    return array.tobytes()
+
+
+def state_digest(
+    meta: dict,
+    vectors: np.ndarray,
+    ids: np.ndarray,
+    alive: np.ndarray,
+) -> str:
+    """Digest of one exported index state (configuration + canonical
+    arrays in their fixed dtypes).
+
+    Shared by :meth:`FerexIndex.content_fingerprint` and the
+    shared-memory attach path (:mod:`repro.serve.shm`), which must be
+    able to verify raw segment bytes *before* paying the backend
+    rebuild — so the digest is a free function over ``(meta, arrays)``
+    rather than an index method only.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(meta, sort_keys=True).encode())
+    digest.update(_buffer(np.ascontiguousarray(vectors, dtype=np.int64)))
+    digest.update(_buffer(np.ascontiguousarray(ids, dtype=np.int64)))
+    digest.update(_buffer(np.ascontiguousarray(alive, dtype=bool)))
+    return digest.hexdigest()
 
 
 class SearchOutcome(NamedTuple):
@@ -108,6 +148,11 @@ class FerexIndex:
         self._next_id = 0
         self._write_generation = 0
         self._mutation_digest = hashlib.blake2b(digest_size=16)
+        #: True for replicas attached over shared-memory state
+        #: (:meth:`from_state` with ``read_only=True``): their canonical
+        #: arrays alias another process's segments, so mutation is
+        #: refused — writes go to the publisher, which republishes.
+        self._read_only = False
 
     def _make_backend(
         self, backend: Union[str, SearchBackend]
@@ -194,9 +239,24 @@ class FerexIndex:
         digest.update(payload)
         return digest.hexdigest()
 
-    def _note_mutation(self, op: bytes, *parts: bytes) -> None:
+    def content_fingerprint(self) -> str:
+        """Digest of configuration + the full stored state (vectors,
+        ids, liveness) — O(n), unlike the O(1) rolling
+        :meth:`fingerprint`.
+
+        Because it hashes *content* rather than mutation history, an
+        index and a replica rebuilt from its exported state report the
+        same value; :mod:`repro.serve.shm` uses it as the
+        publish/attach parity check (a torn or corrupted segment can
+        never serve quietly).
+        """
+        return state_digest(
+            self._state_meta(), self._vectors, self._ids, self._alive
+        )
+
+    def _note_mutation(self, op: bytes, *parts) -> None:
         """Bump the write generation and fold the mutation into the
-        rolling fingerprint digest."""
+        rolling fingerprint digest (``parts`` are bytes-like)."""
         self._write_generation += 1
         self._mutation_digest.update(op)
         for part in parts:
@@ -231,6 +291,14 @@ class FerexIndex:
             raise ValueError(f"vector values outside [0, {hi})")
         return vectors
 
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise ValueError(
+                "this index is a read-only replica attached over "
+                "shared-memory state; mutate the publishing index and "
+                "republish its segments instead"
+            )
+
     def add(
         self,
         vectors: np.ndarray,
@@ -243,6 +311,7 @@ class FerexIndex:
         each vector's physical row — and its sampled device variation —
         is fixed by its insertion position alone.
         """
+        self._check_writable()
         vectors = self._validate_vectors(vectors)
         n = len(vectors)
         if n == 0:
@@ -269,7 +338,7 @@ class FerexIndex:
         for offset, id_ in enumerate(ids):
             self._id_to_pos[int(id_)] = start + offset
         self._next_id = max(self._next_id, int(ids.max()) + 1)
-        self._note_mutation(b"add", ids.tobytes(), vectors.tobytes())
+        self._note_mutation(b"add", _buffer(ids), _buffer(vectors))
         return ids
 
     def remove(self, ids: Sequence[int]) -> int:
@@ -277,6 +346,7 @@ class FerexIndex:
         masked out of every subsequent LTA competition.  Returns the
         number removed; unknown or repeated ids raise ``KeyError``
         before anything mutates."""
+        self._check_writable()
         ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
         if len(np.unique(ids)) != len(ids):
             raise KeyError("duplicate ids in remove request")
@@ -297,6 +367,7 @@ class FerexIndex:
         """Physically re-program the live set, reclaiming tombstoned
         rows.  Ids survive; positions (and therefore per-row variation
         instances) are reassigned."""
+        self._check_writable()
         live = np.flatnonzero(self._alive)
         self._vectors = self._vectors[live]
         self._ids = self._ids[live]
@@ -347,29 +418,25 @@ class FerexIndex:
         return SearchOutcome(ids=ids, distances=distances)
 
     # ------------------------------------------------------------------
-    # Persistence
+    # Persistence and state export
     # ------------------------------------------------------------------
-    def save(self, path: "str | Path") -> None:
-        """Persist the index to ``path`` (numpy ``.npz``).
+    def _state_meta(self) -> dict:
+        """The JSON-able configuration record shared by ``save``,
+        ``export_state`` and :meth:`content_fingerprint`.
 
-        Stored: every physically written vector (tombstones included, so
-        bank layout — and with it each row's variation draw — survives),
-        ids, liveness, and the full configuration (metric, bits,
-        encoding mode, bank geometry, variation seed).  Only backends
-        the index constructed itself (a registry kind: ferex/exact/gpu)
-        can be persisted — a caller-supplied instance may carry
-        configuration the index-level metadata does not describe, and a
-        silently different reload would break the bit-identity
-        guarantee.
+        Only index-constructed backends (a registry kind) can be
+        described — a caller-supplied instance may carry configuration
+        this record cannot see, and a silently different rebuild would
+        break the bit-identity guarantee.
         """
         if self._backend_kind is None:
             raise ValueError(
                 "only index-constructed backends (backend='ferex'/'exact'/"
-                "'gpu') can be saved; this index wraps a caller-supplied "
-                f"{type(self._backend).__name__} instance whose "
-                "configuration save() cannot see"
+                "'gpu') can be exported; this index wraps a "
+                f"caller-supplied {type(self._backend).__name__} instance "
+                "whose configuration the index-level metadata cannot see"
             )
-        meta = {
+        return {
             "format_version": _FORMAT_VERSION,
             "dims": self.dims,
             "metric": self._metric_name(),
@@ -380,21 +447,118 @@ class FerexIndex:
             "seed": self.seed,
             "next_id": self._next_id,
         }
+
+    def export_state(self) -> "tuple[dict, dict]":
+        """Snapshot the index as ``(meta, arrays)`` without touching
+        disk.
+
+        ``meta`` is the same configuration record :meth:`save` persists;
+        ``arrays`` holds the canonical state in fixed dtypes —
+        ``vectors``/``ids`` as ``int64``, ``alive`` as ``bool`` — every
+        physically written row included (tombstones keep the bank
+        layout, and with it each row's variation draw).  The arrays are
+        the index's own buffers whenever dtypes already match, so
+        copying (e.g. into a shared-memory segment) is the caller's
+        decision.  :meth:`from_state` rebuilds a bit-identical index
+        from the pair.
+        """
+        return self._state_meta(), {
+            "vectors": np.ascontiguousarray(self._vectors, dtype=np.int64),
+            "ids": np.ascontiguousarray(self._ids, dtype=np.int64),
+            "alive": np.ascontiguousarray(self._alive, dtype=bool),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        meta: dict,
+        vectors: np.ndarray,
+        ids: np.ndarray,
+        alive: np.ndarray,
+        read_only: bool = False,
+    ) -> "FerexIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        Vectors re-program through the identical deterministic write
+        path (same positions, same per-bank variation seeds), so search
+        results are bit-identical to the exporting index.
+
+        With ``read_only=True`` the arrays are adopted *without
+        copying* — pass views over ``multiprocessing.shared_memory``
+        buffers for a zero-copy attach — and the replica is marked
+        immutable (``add``/``remove``/``compact`` raise), the
+        discipline shared buffers require.  A mutable rebuild (the
+        default) copies instead: ``remove`` flips liveness in place,
+        which must never reach back into the exporter's state.
+        """
+        if meta["format_version"] > _FORMAT_VERSION:
+            raise ValueError(
+                f"index state format {meta['format_version']} is newer "
+                f"than this library ({_FORMAT_VERSION})"
+            )
+        index = cls(
+            dims=meta["dims"],
+            metric=meta["metric"],
+            bits=meta["bits"],
+            backend=meta["backend"],
+            bank_rows=meta["bank_rows"],
+            encoder=meta["encoder"],
+            seed=meta["seed"],
+        )
+        adopt = np.asarray if read_only else np.array
+        # Explicit int64 (not platform-int): exported state is int64,
+        # and a platform where int != int64 would otherwise silently
+        # copy — defeating the zero-copy shared-memory attach.
+        index._vectors = adopt(vectors, dtype=np.int64)
+        index._ids = adopt(ids, dtype=np.int64)
+        index._alive = adopt(alive, dtype=bool)
+        index._id_to_pos = {
+            int(id_): pos
+            for pos, (id_, live) in enumerate(zip(index._ids, index._alive))
+            if live
+        }
+        index._next_id = int(meta["next_id"])
+        if len(index._vectors):
+            index._backend.add(index._vectors)
+            dead = np.flatnonzero(~index._alive)
+            if len(dead):
+                index._backend.deactivate(dead)
+        # State adoption replays as one bulk mutation: two rebuilds of
+        # the same state report equal fingerprints and a fresh
+        # (non-zero) write generation, so serving caches never bleed
+        # across a reload or re-attach.
+        index._note_mutation(
+            b"load",
+            _buffer(index._vectors),
+            _buffer(index._ids),
+            _buffer(index._alive),
+        )
+        index._read_only = read_only
+        return index
+
+    def save(self, path: "str | Path") -> None:
+        """Persist the index to ``path`` (numpy ``.npz``).
+
+        Stored: every physically written vector (tombstones included, so
+        bank layout — and with it each row's variation draw — survives),
+        ids, liveness, and the full configuration (metric, bits,
+        encoding mode, bank geometry, variation seed).  Only backends
+        the index constructed itself (a registry kind: ferex/exact/gpu)
+        can be persisted — see :meth:`export_state`.
+        """
+        meta, arrays = self.export_state()
         np.savez_compressed(
             path,
             meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-            vectors=self._vectors,
-            ids=self._ids,
-            alive=self._alive,
+            vectors=arrays["vectors"],
+            ids=arrays["ids"],
+            alive=arrays["alive"],
         )
 
     @classmethod
     def load(cls, path: "str | Path") -> "FerexIndex":
-        """Rebuild an index saved with :meth:`save`.
-
-        Vectors re-program through the identical deterministic write
-        path (same positions, same per-bank variation seeds), so search
-        results are bit-identical to the index that was saved.
+        """Rebuild an index saved with :meth:`save` (bit-identical
+        search results; see :meth:`from_state`).
 
         Accepts the same path that was given to :meth:`save`:
         ``np.savez_compressed`` appends ``.npz`` when missing, so load
@@ -408,42 +572,7 @@ class FerexIndex:
             vectors = data["vectors"]
             ids = data["ids"]
             alive = data["alive"]
-        if meta["format_version"] > _FORMAT_VERSION:
-            raise ValueError(
-                f"index file format {meta['format_version']} is newer than "
-                f"this library ({_FORMAT_VERSION})"
-            )
-        index = cls(
-            dims=meta["dims"],
-            metric=meta["metric"],
-            bits=meta["bits"],
-            backend=meta["backend"],
-            bank_rows=meta["bank_rows"],
-            encoder=meta["encoder"],
-            seed=meta["seed"],
-        )
-        index._vectors = vectors.astype(int)
-        index._ids = ids.astype(np.int64)
-        index._alive = alive.astype(bool)
-        index._id_to_pos = {
-            int(id_): pos
-            for pos, (id_, live) in enumerate(zip(index._ids, index._alive))
-            if live
-        }
-        index._next_id = meta["next_id"]
-        if len(vectors):
-            index._backend.add(index._vectors)
-            dead = np.flatnonzero(~index._alive)
-            if len(dead):
-                index._backend.deactivate(dead)
-        # Persistence replays as one bulk mutation: two loads of the
-        # same file report equal fingerprints and a fresh (non-zero)
-        # write generation, so serving caches never bleed across a
-        # reload.
-        index._note_mutation(
-            b"load",
-            index._vectors.tobytes(),
-            index._ids.tobytes(),
-            index._alive.tobytes(),
-        )
-        return index
+        # No astype here: from_state's mutable path already normalises
+        # dtypes with one copy — converting twice would peak at 2x the
+        # array memory on large indexes.
+        return cls.from_state(meta, vectors, ids, alive)

@@ -10,22 +10,39 @@
 * :class:`ReplicaRouter` / :class:`Replica` — round-robin or
   least-loaded reads over N bit-identical replicas, single-writer
   mutation path with parity checking;
+* :class:`ProcReplicaPool` — N worker *processes* attached zero-copy to
+  the primary index's shared-memory segments (:mod:`repro.serve.shm`),
+  for read parallelism beyond the GIL; writes drain through the
+  single-writer path and republish a fresh generation;
 * :class:`ServerStats` — qps, batch-size histogram, cache hit rate and
   latency percentiles for benchmarks and tests.
 """
 
 from .cache import QueryCache
 from .coalescer import RequestCoalescer
+from .procpool import PoolBrokenError, ProcReplicaPool
 from .router import Replica, ReplicaParityError, ReplicaRouter
 from .server import FerexServer
+from .shm import (
+    SegmentIntegrityError,
+    SegmentManifest,
+    attach_index,
+    publish_index,
+)
 from .stats import ServerStats
 
 __all__ = [
     "FerexServer",
+    "PoolBrokenError",
+    "ProcReplicaPool",
     "QueryCache",
     "Replica",
     "ReplicaParityError",
     "ReplicaRouter",
     "RequestCoalescer",
+    "SegmentIntegrityError",
+    "SegmentManifest",
     "ServerStats",
+    "attach_index",
+    "publish_index",
 ]

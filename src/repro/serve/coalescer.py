@@ -23,11 +23,38 @@ Cancellation discipline: a caller that abandons its request (e.g. via
 ``asyncio.wait_for``) before the flush is silently dropped from the
 batch; one cancelled after dispatch simply never receives the result.
 Other requests in the same micro-batch are unaffected either way.
+
+Adaptive wait
+-------------
+A fixed ``max_wait_ms`` taxes sparse traffic: a lone caller always eats
+the full window even though nobody will ever join its batch.  With
+``adaptive_wait=True`` the coalescer sizes each window from the EWMAs
+of two signals it observes anyway:
+
+* the **inter-arrival gap** between ``submit`` calls, and
+* the **dispatch service time** of recent batches.
+
+Waiting only pays when another request is expected before the current
+one would have been served solo — i.e. when the arrival gap undercuts
+the service time.  The scheduled window is therefore::
+
+    wait = 0                                  if ewma_gap >= ewma_service
+    wait = min(max_wait_ms, gain * ewma_gap)  otherwise
+
+always clamped to ``[0, max_wait_ms]`` — the configured ceiling is a
+hard upper bound no arrival pattern can push past.  Under concurrency-1
+traffic the gap (which *includes* any wait we add, so the loop is
+self-stabilising) sits above the service time and the window collapses
+to zero: a singleton request arriving to an empty queue then bypasses
+the timer entirely and dispatches inline, at near-direct-search
+latency.  Under a 64-client burst the gaps are microseconds, the window
+opens, and batches keep filling exactly as with a fixed wait.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from typing import Awaitable, Callable, List, Optional, Tuple
 
 import numpy as np
@@ -66,6 +93,24 @@ class RequestCoalescer:
     on_batch:
         Optional observer called with each successfully served batch
         size (the server wires :meth:`ServerStats.record_batch` here).
+    adaptive_wait:
+        Size each flush window from the arrival/service EWMAs (see the
+        module docstring) instead of always waiting ``max_wait_ms``.
+        The configured ``max_wait_ms`` stays the hard ceiling.
+    inline_dispatch:
+        Optional dispatch variant used *only* for the adaptive
+        singleton fast path (a request confirmed alone under sparse
+        traffic).  The server passes a loop-blocking direct search
+        here — acceptable exactly because nothing else is in flight —
+        while timer- and size-triggered batches (including a lone-k
+        group inside a concurrent burst) keep the off-loop ``dispatch``.
+        Defaults to ``dispatch``.
+    ewma_alpha:
+        EWMA smoothing factor in ``(0, 1]`` for both signals (higher =
+        faster adaptation, noisier estimate).
+    wait_gain:
+        Multiple of the arrival-gap EWMA used as the window when
+        waiting is worthwhile.
     """
 
     def __init__(
@@ -74,18 +119,44 @@ class RequestCoalescer:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         on_batch: Optional[Callable[[int], None]] = None,
+        adaptive_wait: bool = False,
+        ewma_alpha: float = 0.25,
+        wait_gain: float = 8.0,
+        inline_dispatch: Optional[DispatchFn] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if wait_gain <= 0:
+            raise ValueError("wait_gain must be > 0")
         self._dispatch = dispatch
+        self._inline_dispatch = inline_dispatch or dispatch
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_ms / 1000.0
         self._on_batch = on_batch
+        self.adaptive_wait = adaptive_wait
+        self._ewma_alpha = ewma_alpha
+        self._wait_gain = wait_gain
+        #: EWMA of submit inter-arrival gaps (seconds; None = no data).
+        self._ewma_gap: Optional[float] = None
+        #: EWMA of batch dispatch durations (seconds; None = no data).
+        self._ewma_service: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        #: Recent scheduled windows (seconds) — every value is in
+        #: ``[0, max_wait_s]`` by construction; tests and stats
+        #: surfaces read this to audit the adaptive policy.
+        self.scheduled_waits: deque = deque(maxlen=256)
         self._pending: List[_Pending] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._inflight: set = set()
+        #: Singleton fast-path batches awaited inline (no task object
+        #: to gather), counted so close() can drain them too.
+        self._inline_inflight = 0
+        self._inline_drained = asyncio.Event()
+        self._inline_drained.set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -93,6 +164,46 @@ class RequestCoalescer:
     def n_pending(self) -> int:
         """Requests parked and not yet dispatched."""
         return len(self._pending)
+
+    def _observe_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            # Cap the sample: beyond "no batch-mate is coming" the gap
+            # magnitude is meaningless, and one long idle period must
+            # not dominate the EWMA for many requests afterwards.
+            gap = min(now - self._last_arrival, 1.0)
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                alpha = self._ewma_alpha
+                self._ewma_gap = alpha * gap + (1 - alpha) * self._ewma_gap
+        self._last_arrival = now
+
+    def _observe_service(self, duration: float) -> None:
+        if self._ewma_service is None:
+            self._ewma_service = duration
+        else:
+            alpha = self._ewma_alpha
+            self._ewma_service = (
+                alpha * duration + (1 - alpha) * self._ewma_service
+            )
+
+    def next_wait_s(self) -> float:
+        """The flush window the next empty-queue arrival would get,
+        always within ``[0, max_wait_s]``."""
+        if not self.adaptive_wait or self._ewma_gap is None:
+            return self.max_wait_s
+        # Until a batch has been served, assume waiting may pay (the
+        # ceiling itself is the most conservative service estimate).
+        service = (
+            self._ewma_service
+            if self._ewma_service is not None
+            else self.max_wait_s
+        )
+        if self._ewma_gap >= service:
+            # Arrivals are slower than serving solo: batch-mates will
+            # not materialise, so waiting only adds latency.
+            return 0.0
+        return min(self.max_wait_s, self._wait_gain * self._ewma_gap)
 
     async def submit(
         self, query: np.ndarray, k: int
@@ -102,14 +213,55 @@ class RequestCoalescer:
         if self._closed:
             raise RuntimeError("coalescer is closed")
         loop = asyncio.get_running_loop()
+        self._observe_arrival(loop.time())
         future = loop.create_future()
-        self._pending.append(_Pending(query, k, future))
+        pending = _Pending(query, k, future)
+        if (
+            self.adaptive_wait
+            and not self._pending
+            and self.next_wait_s() == 0.0
+        ):
+            # Sparse-traffic fast path: nobody is parked and the policy
+            # says nobody is coming.  Park and yield exactly once —
+            # submits already sitting in the event loop's ready queue
+            # (a concurrent burst) land in the pending list during the
+            # yield and batch as usual; a request still alone
+            # afterwards dispatches inline (no timer, no task hop) at
+            # near-direct-search latency.  The full batch machinery
+            # runs either way, so error/observer semantics are
+            # identical to a size-1 flush.
+            self._pending.append(pending)
+            try:
+                await asyncio.sleep(0)
+            except asyncio.CancelledError:
+                # Cancelled mid-park: the task never reaches the await
+                # on its future, so the done-future filter can't drop
+                # it — remove the ghost entry explicitly or it would be
+                # dispatched as wasted work in the next real batch.
+                if pending in self._pending:
+                    self._pending.remove(pending)
+                raise
+            if self._pending == [pending]:
+                self._pending = []
+                self.scheduled_waits.append(0.0)
+                self._inline_inflight += 1
+                self._inline_drained.clear()
+                try:
+                    await self._run_batch(
+                        [pending], k, dispatch=self._inline_dispatch
+                    )
+                finally:
+                    self._inline_inflight -= 1
+                    if self._inline_inflight == 0:
+                        self._inline_drained.set()
+            return await future
+        self._pending.append(pending)
         if len(self._pending) >= self.max_batch_size:
             self._flush()
         elif self._flush_handle is None:
-            self._flush_handle = loop.call_later(
-                self.max_wait_s, self._flush
-            )
+            wait = self.next_wait_s()
+            self.scheduled_waits.append(wait)
+            self._flush_handle = loop.call_later(wait, self._flush)
         return await future
 
     async def close(self) -> None:
@@ -123,6 +275,9 @@ class RequestCoalescer:
             self._flush_handle = None
         while self._inflight:
             await asyncio.gather(*tuple(self._inflight))
+        # Singleton fast-path dispatches are awaited by their callers,
+        # not tracked as tasks — wait for those to finish draining too.
+        await self._inline_drained.wait()
 
     # ------------------------------------------------------------------
     def _flush(self) -> None:
@@ -147,18 +302,36 @@ class RequestCoalescer:
             by_k.setdefault(pending.k, []).append(pending)
         loop = asyncio.get_running_loop()
         for k, group in by_k.items():
-            task = loop.create_task(self._run_batch(group, k))
-            self._inflight.add(task)
-            task.add_done_callback(self._inflight.discard)
+            # max_batch_size is a hard bound on dispatched batches, not
+            # just a flush trigger: a request parked outside the normal
+            # size check (the adaptive fast path's one-tick yield) must
+            # not let a sweep exceed the cap.
+            for start in range(0, len(group), self.max_batch_size):
+                chunk = group[start : start + self.max_batch_size]
+                task = loop.create_task(self._run_batch(chunk, k))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
 
-    async def _run_batch(self, group: List[_Pending], k: int) -> None:
+    async def _run_batch(
+        self,
+        group: List[_Pending],
+        k: int,
+        dispatch: Optional[DispatchFn] = None,
+    ) -> None:
         # Everything — batch assembly, dispatch, and handing out the
         # rows — stays inside the try: an exception that escaped before
         # every future resolves (a ragged batch, a dispatch that
         # returned too few rows) would leave callers awaiting forever.
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         try:
-            queries = np.stack([pending.query for pending in group])
-            ids, distances = await self._dispatch(queries, k)
+            if len(group) == 1:
+                # Zero-copy lift for the singleton fast path.
+                queries = np.asarray(group[0].query)[None]
+            else:
+                queries = np.stack([pending.query for pending in group])
+            ids, distances = await (dispatch or self._dispatch)(queries, k)
+            self._observe_service(loop.time() - started)
             if len(ids) < len(group) or len(distances) < len(group):
                 raise ValueError(
                     f"dispatch returned {len(ids)} rows for a batch "

@@ -1,0 +1,562 @@
+"""`ProcReplicaPool`: N worker processes serving one shared snapshot.
+
+The asyncio serving stack coalesces concurrent callers into micro-batches
+(:class:`~repro.serve.coalescer.RequestCoalescer`), but every batch still
+evaluates inside one Python process — the GIL caps a replica *fleet* at
+one core no matter how many threads carry it.  This module is the step
+past that cap:
+
+* the parent publishes the primary index's state once into
+  shared-memory segments (:func:`repro.serve.shm.publish_index` — N
+  replicas cost ~1x canonical index RAM);
+* each worker process attaches the segments zero-copy, verifies the
+  content fingerprint, and rebuilds a read-only replica whose answers
+  are bit-identical to the primary (:func:`repro.serve.shm.
+  attach_index`);
+* searches route to idle workers over pipes — many batches genuinely in
+  flight at once, one per core;
+* writes never touch workers: the caller mutates the primary (through
+  the usual single-writer path) and calls :meth:`ProcReplicaPool.
+  republish`, which quiesces the pool, publishes a fresh
+  generation-stamped segment set, re-attaches every worker (fingerprint
+  re-verified), and only then retires the old segments.
+
+Crash discipline: a worker that dies mid-request (OOM-killed, signalled,
+kernel-reaped) is detected by its broken pipe, respawned from the
+current manifest, and the request retries on another replica — reads
+are idempotent, so the caller just sees the answer.  Only when respawns
+themselves fail does the pool raise :class:`PoolBrokenError`.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import queue
+import threading
+from typing import List, Optional
+
+from ..index import FerexIndex, SearchOutcome
+from .shm import (
+    PublishedSegments,
+    SegmentManifest,
+    attach_index,
+    publish_index,
+)
+
+#: Seconds to wait for a freshly spawned worker's ready handshake
+#: (spawn pays interpreter start + import + attach re-program).
+_SPAWN_TIMEOUT_S = 120.0
+#: Seconds to wait for a worker's re-attach during republish.
+_ATTACH_TIMEOUT_S = 120.0
+
+
+class PoolBrokenError(RuntimeError):
+    """The pool can no longer guarantee replica parity (spawn or
+    republish failed beyond recovery); refusing to serve."""
+
+
+class _WorkerUnresponsive(Exception):
+    """Internal: a live worker missed its reply deadline (treated like
+    a crash: retire, respawn, retry)."""
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """Best-effort picklable stand-in for an arbitrary exception."""
+    try:
+        import pickle
+
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn, manifest: SegmentManifest) -> None:
+    """Worker process body: attach the published snapshot, then serve
+    ``search``/``republish``/``ping`` requests until closed."""
+    index = None
+    attached = None
+
+    def _attach(new_manifest):
+        nonlocal index, attached
+        old_index, old_attached = index, attached
+        index = attached = None
+        # Drop every view over the old buffers before unmapping them.
+        del old_index
+        if old_attached is not None:
+            gc.collect()
+            old_attached.close()
+        index, attached = attach_index(new_manifest)
+
+    try:
+        try:
+            _attach(manifest)
+        except Exception as exc:
+            conn.send(("attach_error", _portable_exc(exc)))
+            return
+        conn.send(("ready", manifest.generation, manifest.fingerprint))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            op = message[0]
+            if op == "search":
+                _, queries, k = message
+                try:
+                    outcome = index.search(queries, k=k)
+                    conn.send(("ok", outcome.ids, outcome.distances))
+                except Exception as exc:
+                    conn.send(("error", _portable_exc(exc)))
+            elif op == "republish":
+                _, new_manifest = message
+                try:
+                    _attach(new_manifest)
+                except Exception as exc:
+                    conn.send(("attach_error", _portable_exc(exc)))
+                    return
+                conn.send(
+                    (
+                        "ready",
+                        new_manifest.generation,
+                        new_manifest.fingerprint,
+                    )
+                )
+            elif op == "ping":
+                conn.send(
+                    (
+                        "pong",
+                        attached.manifest.generation,
+                        attached.manifest.fingerprint,
+                    )
+                )
+            elif op == "close":
+                return
+    finally:
+        index = None
+        if attached is not None:
+            gc.collect()
+            attached.close()
+        conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("process", "conn", "ordinal", "served")
+
+    def __init__(self, process, conn, ordinal: int):
+        self.process = process
+        self.conn = conn
+        self.ordinal = ordinal
+        #: Searches this worker has answered (parent-side count).
+        self.served = 0
+
+    def __repr__(self) -> str:
+        alive = self.process.is_alive()
+        return (
+            f"_Worker(ordinal={self.ordinal}, pid={self.process.pid}, "
+            f"alive={alive}, served={self.served})"
+        )
+
+
+class ProcReplicaPool:
+    """Multi-process read replicas over shared-memory index segments.
+
+    Parameters
+    ----------
+    index:
+        The primary :class:`FerexIndex`.  The pool publishes its state
+        at construction; later mutations reach workers only through
+        :meth:`republish`.
+    n_workers:
+        Worker process count (one busy search per worker at a time; the
+        useful ceiling is the machine's core count).
+    start_method:
+        ``multiprocessing`` start method.  The default ``"spawn"`` is
+        safe next to the asyncio server's executor threads; ``"fork"``
+        is faster to start but forks whatever locks those threads hold.
+    name_prefix:
+        Shared-memory block name prefix (diagnostic; names are
+        collision-proofed regardless).
+    search_timeout_s:
+        Reply deadline per routed batch.  A worker that is alive but
+        wedged (stuck syscall, deadlocked attach) would otherwise
+        block its batch — and, via the quiesce, every later
+        republish — forever; missing the deadline is treated exactly
+        like a crash (retire, respawn, retry elsewhere).  Generous by
+        default: two orders of magnitude above any bench batch.
+
+    Thread safety: :meth:`search` may be called from many threads (the
+    server's executor does); workers are checked out of an idle queue,
+    so concurrent searches run truly in parallel, one per worker.
+    """
+
+    def __init__(
+        self,
+        index: FerexIndex,
+        n_workers: int = 2,
+        start_method: str = "spawn",
+        name_prefix: str = "ferex",
+        search_timeout_s: float = 120.0,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if search_timeout_s <= 0:
+            raise ValueError("search_timeout_s must be > 0")
+        self.search_timeout_s = search_timeout_s
+        self.index = index
+        self.n_workers = n_workers
+        self._name_prefix = name_prefix
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()  # _published / _workers / flags
+        self._publish_lock = threading.Lock()  # serialises republish
+        self._idle: "queue.Queue[_Worker]" = queue.Queue()
+        self._workers: List[_Worker] = []
+        self._next_ordinal = 0
+        self._broken = False
+        self._closed = False
+        self.respawns = 0
+        self._published: Optional[PublishedSegments] = publish_index(
+            index, name_prefix=name_prefix
+        )
+        try:
+            for _ in range(n_workers):
+                worker = self._spawn_worker(self._published.manifest)
+                self._workers.append(worker)
+                self._idle.put(worker)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Primary write generation the workers currently serve
+        (``-1`` once the pool is closed)."""
+        published = self._published
+        return -1 if published is None else published.manifest.generation
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the published snapshot (empty once
+        the pool is closed)."""
+        published = self._published
+        return "" if published is None else published.manifest.fingerprint
+
+    @property
+    def broken(self) -> bool:
+        """True once the pool lost a worker slot it could not refill;
+        every later ``search``/``republish`` raises
+        :class:`PoolBrokenError`."""
+        return self._broken
+
+    @property
+    def workers(self) -> List[_Worker]:
+        """Live worker handles (read-only introspection)."""
+        return list(self._workers)
+
+    def snapshot(self) -> dict:
+        """JSON-ready pool state for stats surfaces and benches."""
+        return {
+            "n_workers": self.n_workers,
+            "generation": self.generation,
+            "respawns": self.respawns,
+            "served_per_worker": [w.served for w in self._workers],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcReplicaPool(n_workers={self.n_workers}, "
+            f"generation={self.generation}, respawns={self.respawns})"
+        )
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, manifest: SegmentManifest) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, manifest),
+            name=f"{self._name_prefix}-replica-{ordinal}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns its end now
+        worker = _Worker(process, parent_conn, ordinal)
+        try:
+            self._expect_ready(worker, manifest, timeout=_SPAWN_TIMEOUT_S)
+        except Exception:
+            # A worker that failed its handshake (attach error, parity
+            # mismatch, timeout) must not linger as an orphan burning
+            # CPU and holding segment mappings.
+            self._retire(worker)
+            raise
+        return worker
+
+    def _expect_ready(
+        self, worker: _Worker, manifest: SegmentManifest, timeout: float
+    ) -> None:
+        """Consume one handshake and verify generation + fingerprint —
+        the attach-time parity check, enforced on both ends."""
+        try:
+            if not worker.conn.poll(timeout):
+                raise PoolBrokenError(
+                    f"worker {worker.ordinal} did not attach within "
+                    f"{timeout:.0f}s"
+                )
+            reply = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise PoolBrokenError(
+                f"worker {worker.ordinal} died during attach"
+            ) from exc
+        if reply[0] == "attach_error":
+            raise reply[1]
+        if reply[0] != "ready" or reply[1:] != (
+            manifest.generation,
+            manifest.fingerprint,
+        ):
+            raise PoolBrokenError(
+                f"worker {worker.ordinal} attached out of parity: "
+                f"{reply!r} != ('ready', {manifest.generation}, "
+                f"{manifest.fingerprint})"
+            )
+
+    def _retire(self, worker: _Worker) -> None:
+        """Hard-stop a dead or misbehaving worker's process + pipe."""
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5)
+        except Exception:
+            pass
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        """Respawn a crashed worker from the current manifest.  Marks
+        the pool broken (and re-raises) when the respawn itself fails —
+        a pool that cannot hold its replica count must not limp on."""
+        self._retire(worker)
+        with self._lock:
+            if self._closed or self._published is None:
+                # close() raced us (it already killed the fleet): the
+                # caller sees the same error a fresh search would.
+                raise RuntimeError("pool is closed")
+            manifest = self._published.manifest
+        try:
+            replacement = self._spawn_worker(manifest)
+        except Exception:
+            with self._lock:
+                self._broken = True
+            raise
+        with self._lock:
+            if self._closed:
+                # close() ran while we were spawning and never saw the
+                # replacement; don't leave it orphaned.
+                self._retire(replacement)
+                raise RuntimeError("pool is closed")
+            self._workers = [
+                replacement if w is worker else w for w in self._workers
+            ]
+            self.respawns += 1
+        return replacement
+
+    def _get_idle(self) -> _Worker:
+        """Check out an idle worker, noticing shutdown/poison while
+        waiting (a broken pool must not strand blocked callers)."""
+        while True:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if self._broken:
+                raise PoolBrokenError(
+                    "pool lost a worker and could not respawn it"
+                )
+            try:
+                return self._idle.get(timeout=0.1)
+            except queue.Empty:
+                continue
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def search(self, queries, k: int = 1) -> SearchOutcome:
+        """Route one micro-batch to an idle worker; bit-identical to
+        ``self.index.search(queries, k)``.
+
+        Blocks while every worker is busy (callers above this layer —
+        the coalescer — bound how many batches are in flight).  A
+        worker crash mid-request respawns the worker and retries the
+        batch on another replica.
+        """
+        attempts = 0
+        while True:
+            worker = self._get_idle()
+            try:
+                worker.conn.send(("search", queries, k))
+                if not worker.conn.poll(self.search_timeout_s):
+                    raise _WorkerUnresponsive()
+                reply = worker.conn.recv()
+            except (
+                BrokenPipeError,
+                EOFError,
+                OSError,
+                _WorkerUnresponsive,
+            ):
+                # The worker died under us; put a fresh replica in its
+                # slot and retry the (idempotent) read elsewhere.
+                replacement = self._replace(worker)
+                self._idle.put(replacement)
+                attempts += 1
+                if attempts > self.n_workers:
+                    raise PoolBrokenError(
+                        f"search failed on {attempts} replicas in a row"
+                    )
+                continue
+            if reply[0] == "ok":
+                worker.served += 1
+                self._idle.put(worker)
+                return SearchOutcome(ids=reply[1], distances=reply[2])
+            if reply[0] == "error" and isinstance(reply[1], BaseException):
+                worker.served += 1
+                self._idle.put(worker)
+                raise reply[1]
+            # Protocol desync (should be unreachable): this pipe's
+            # request/reply pairing can no longer be trusted, so
+            # retire the worker rather than guess at its next reply.
+            replacement = self._replace(worker)
+            self._idle.put(replacement)
+            raise PoolBrokenError(
+                f"worker {worker.ordinal} sent an out-of-protocol "
+                f"reply {reply[:1]!r}; worker replaced"
+            )
+
+    # ------------------------------------------------------------------
+    # Write propagation
+    # ------------------------------------------------------------------
+    def republish(self) -> int:
+        """Publish the primary's current state and move every worker to
+        it; returns the new generation.
+
+        Quiesces the pool (waits for in-flight searches), publishes a
+        fresh segment set stamped with the primary's write generation,
+        re-attaches each worker (fingerprint parity re-verified), then
+        unlinks the retired generation's segments.
+
+        *Any* per-worker re-attach failure — pipe death, attach
+        timeout, integrity error — leaves that worker's state
+        unknowable, so it is retired and respawned straight onto the
+        new manifest; only confirmed new-generation workers ever return
+        to the idle queue.  If even one slot cannot be refilled the
+        pool poisons itself (every later ``search``/``republish``
+        raises :class:`PoolBrokenError`) rather than serve a fleet
+        that straddles generations.
+        """
+        with self._publish_lock:
+            held = [self._get_idle() for _ in range(self.n_workers)]
+            try:
+                new = publish_index(
+                    self.index, name_prefix=self._name_prefix
+                )
+            except Exception:
+                # Nothing swapped yet: the old generation is still the
+                # published truth, every held worker still serves it.
+                for worker in held:
+                    self._idle.put(worker)
+                raise
+            with self._lock:
+                if self._closed or self._published is None:
+                    # close() raced us: it already retired the held
+                    # workers and unlinked the old generation; drop the
+                    # segments we just published instead of leaking
+                    # them past the closed pool.
+                    new.unlink()
+                    raise RuntimeError("pool is closed")
+                old, self._published = self._published, new
+            manifest = new.manifest
+            refreshed = []
+            casualties = []
+            failures = 0
+            # Broadcast first, then collect: the workers re-attach in
+            # parallel, so the write stall is ~one attach, not
+            # n_workers of them.
+            broadcast = []
+            for worker in held:
+                try:
+                    worker.conn.send(("republish", manifest))
+                    broadcast.append(worker)
+                except Exception:
+                    casualties.append(worker)
+            for worker in broadcast:
+                try:
+                    self._expect_ready(
+                        worker, manifest, timeout=_ATTACH_TIMEOUT_S
+                    )
+                    refreshed.append(worker)
+                except Exception:
+                    casualties.append(worker)
+            for worker in casualties:
+                try:
+                    refreshed.append(self._replace(worker))
+                except Exception:
+                    failures += 1
+                    with self._lock:
+                        self._broken = True
+            for worker in refreshed:
+                self._idle.put(worker)
+            # Failed workers were killed, confirmed workers moved on:
+            # nothing maps the old generation's segments any more.
+            old.unlink()
+            if failures:
+                raise PoolBrokenError(
+                    f"republish could not move {failures} worker(s) to "
+                    f"generation {manifest.generation}; pool refuses "
+                    f"to serve a generation-straddling fleet"
+                )
+            return manifest.generation
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and release the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("close",))
+            except Exception:
+                pass
+        for worker in self._workers:
+            try:
+                worker.process.join(timeout=5)
+            except Exception:
+                pass
+            self._retire(worker)
+        self._workers = []
+        # Drain any stale idle-queue entries (handles already retired).
+        while True:
+            try:
+                self._idle.get_nowait()
+            except queue.Empty:
+                break
+        published: Optional[PublishedSegments]
+        with self._lock:
+            published, self._published = self._published, None
+        if published is not None:
+            published.unlink()
+
+    def __enter__(self) -> "ProcReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

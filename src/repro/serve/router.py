@@ -143,10 +143,11 @@ class ReplicaRouter:
         self._rr_next += 1
         return replica
 
-    @contextlib.asynccontextmanager
-    async def read(self):
-        """Admit one read: yields the routed :class:`Replica` while
-        holding a reader slot (writers wait for all slots to clear)."""
+    async def acquire_read(self) -> Replica:
+        """Admit one read and return the routed :class:`Replica`; the
+        caller must pair it with :meth:`release_read`.  Split out from
+        :meth:`read` so the serving hot path skips the async context
+        manager machinery."""
         while self._writer_active:
             await self._read_admitted.wait()
         if self._poisoned:
@@ -158,14 +159,25 @@ class ReplicaRouter:
         replica.inflight += 1
         self._readers += 1
         self._no_readers.clear()
+        return replica
+
+    def release_read(self, replica: Replica) -> None:
+        """Return a reader slot taken by :meth:`acquire_read`."""
+        replica.inflight -= 1
+        replica.served += 1
+        self._readers -= 1
+        if self._readers == 0:
+            self._no_readers.set()
+
+    @contextlib.asynccontextmanager
+    async def read(self):
+        """Admit one read: yields the routed :class:`Replica` while
+        holding a reader slot (writers wait for all slots to clear)."""
+        replica = await self.acquire_read()
         try:
             yield replica
         finally:
-            replica.inflight -= 1
-            replica.served += 1
-            self._readers -= 1
-            if self._readers == 0:
-                self._no_readers.set()
+            self.release_read(replica)
 
     # ------------------------------------------------------------------
     # Write path

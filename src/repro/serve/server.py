@@ -24,10 +24,25 @@ The request path composes the three serving primitives::
   single-writer path — applied to every replica in order, parity
   checked — and clear the cache.
 
+Two scaling knobs extend the picture past one thread and one process:
+
+* ``adaptive_wait=True`` lets the coalescer size its flush window from
+  the observed arrival/service rates (confirmed-sparse singletons
+  additionally dispatch inline, skipping the executor hop), so sparse
+  traffic is served at near-direct-search latency while bursts still
+  batch;
+* ``pool=`` hands micro-batches to a :class:`~repro.serve.procpool.
+  ProcReplicaPool` — N worker processes attached zero-copy to the
+  primary's shared-memory segments — for true parallelism beyond the
+  GIL; the write path then republishes the segments inside the same
+  single-writer critical section, so a completed write is visible to
+  every worker before any new read is admitted.
+
 Every answer is bit-identical to calling ``FerexIndex.search``
 directly: batching rides the index's bit-identical batch path, cached
-rows are frozen copies of served results, and replicas are kept
-bit-identical by construction.  ``tests/serve/`` asserts exactly this.
+rows are frozen copies of served results, and replicas (in-process or
+pooled) are kept bit-identical by construction.  ``tests/serve/``
+asserts exactly this.
 """
 
 from __future__ import annotations
@@ -41,6 +56,7 @@ import numpy as np
 from ..index import FerexIndex, SearchOutcome
 from .cache import QueryCache
 from .coalescer import RequestCoalescer
+from .procpool import PoolBrokenError, ProcReplicaPool
 from .router import ReplicaRouter
 from .stats import ServerStats
 
@@ -54,6 +70,7 @@ class FerexServer:
         One or more bit-identical :class:`FerexIndex` instances (same
         configuration, same mutation history — verified at
         construction), or a single index for an unreplicated server.
+        Optional when ``pool`` is given (the pool's primary is used).
     max_batch_size / max_wait_ms:
         Coalescing knobs: flush a micro-batch at this size, or this
         long after its oldest request, whichever comes first.
@@ -62,19 +79,54 @@ class FerexServer:
     policy:
         Replica routing policy: ``"least_loaded"`` (default) or
         ``"round_robin"``.
+    pool:
+        Optional :class:`ProcReplicaPool` serving the read path from
+        worker processes.  The pool's primary index must be the
+        server's only replica (thread replicas and process replicas
+        answer identically, but mixing the two routing layers would
+        double-apply writes); the server republishes the pool on every
+        write.  The caller owns the pool's lifecycle.
+    adaptive_wait:
+        Enable the coalescer's adaptive flush window (see
+        :class:`RequestCoalescer`); ``max_wait_ms`` stays the ceiling.
     """
 
     def __init__(
         self,
-        replicas: Union[FerexIndex, Sequence[FerexIndex]],
+        replicas: Union[FerexIndex, Sequence[FerexIndex], None] = None,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
         policy: str = "least_loaded",
+        pool: Optional[ProcReplicaPool] = None,
+        adaptive_wait: bool = False,
     ):
+        if replicas is None:
+            if pool is None:
+                raise ValueError("need replicas, a pool, or both")
+            replicas = [pool.index]
         if isinstance(replicas, FerexIndex):
             replicas = [replicas]
         self._router = ReplicaRouter(replicas, policy=policy)
+        self._pool = pool
+        if pool is not None:
+            if (
+                self._router.n_replicas != 1
+                or self._router.primary is not pool.index
+            ):
+                raise ValueError(
+                    "a pooled server takes exactly one replica: the "
+                    "pool's primary index (writes republish through it)"
+                )
+            if pool.generation != pool.index.write_generation:
+                raise ValueError(
+                    f"pool serves generation {pool.generation} but its "
+                    f"primary is at {pool.index.write_generation}: the "
+                    "index was mutated after the pool published; call "
+                    "pool.republish() before putting a server in front"
+                )
+        self._adaptive = adaptive_wait
+        self._republish_error: Optional[BaseException] = None
         self.stats = ServerStats()
         self._cache = QueryCache(cache_size)
         self._coalescer = RequestCoalescer(
@@ -82,6 +134,15 @@ class FerexServer:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             on_batch=self.stats.record_batch,
+            adaptive_wait=adaptive_wait,
+            # Only the coalescer's confirmed-sparse singleton fast path
+            # may block the loop with a direct search; a pooled read is
+            # pipe-bound and stays on the executor regardless.
+            inline_dispatch=(
+                self._dispatch_inline
+                if adaptive_wait and pool is None
+                else None
+            ),
         )
         self._closed = False
 
@@ -116,6 +177,10 @@ class FerexServer:
     @property
     def coalescer(self) -> RequestCoalescer:
         return self._coalescer
+
+    @property
+    def pool(self) -> Optional[ProcReplicaPool]:
+        return self._pool
 
     @property
     def n_replicas(self) -> int:
@@ -214,17 +279,52 @@ class FerexServer:
             distances=np.stack([r.distances for r in results]),
         )
 
-    async def _dispatch(self, queries: np.ndarray, k: int):
-        """Coalescer flush target: route the micro-batch to a replica,
-        run the batched index search off-loop, populate the cache."""
-        async with self._router.read() as replica:
+    async def _dispatch_inline(self, queries: np.ndarray, k: int):
+        """Dispatch variant for the coalescer's sparse-traffic
+        singleton fast path: the search runs on the event loop itself.
+        The loop stalls for exactly the answer's own latency, which is
+        acceptable precisely because the fast path only fires when
+        nothing else is in flight — timer- and size-triggered batches
+        (even size-1 k-groups inside a burst) never come through here.
+        """
+        return await self._dispatch(queries, k, inline=True)
+
+    async def _dispatch(
+        self, queries: np.ndarray, k: int, inline: bool = False
+    ):
+        """Coalescer flush target: route the micro-batch to a replica
+        (a worker process when pooled), run the batched search
+        off-loop, populate the cache."""
+        replica = await self._router.acquire_read()
+        try:
             # The generation is stable for the whole batch: writers are
             # excluded while any read holds the replica set.
             generation = replica.index.write_generation
-            loop = asyncio.get_running_loop()
-            outcome = await loop.run_in_executor(
-                None, replica.index.search, queries, k
-            )
+            if self._pool is not None:
+                if self._pool.generation != generation:
+                    # Guarded at construction and re-synced by every
+                    # server write (republish runs inside the
+                    # single-writer critical section; failure poisons
+                    # the pool) — this catches the remaining hole, an
+                    # out-of-band primary mutation mid-serve.  An epoch
+                    # mismatch must never serve: the cache would file
+                    # stale rows under the new generation.
+                    raise PoolBrokenError(
+                        f"pool serves generation "
+                        f"{self._pool.generation}, primary is at "
+                        f"{generation}; refusing stale reads"
+                    )
+                loop = asyncio.get_running_loop()
+                outcome = await loop.run_in_executor(
+                    None, self._pool.search, queries, k
+                )
+            elif inline:
+                outcome = replica.index.search(queries, k)
+            else:
+                loop = asyncio.get_running_loop()
+                outcome = await loop.run_in_executor(
+                    None, replica.index.search, queries, k
+                )
             if self._cache.capacity:
                 for row, query in enumerate(queries):
                     self._cache.put(
@@ -233,10 +333,61 @@ class FerexServer:
                         outcome.distances[row],
                     )
             return outcome.ids, outcome.distances
+        finally:
+            self._router.release_read(replica)
 
     # ------------------------------------------------------------------
     # Write path (single writer, every replica, cache invalidated)
     # ------------------------------------------------------------------
+    async def _write(self, mutate: Callable[[FerexIndex], object]):
+        """Run one mutation through the router's single-writer path,
+        republishing the process pool (when present) inside the same
+        critical section — readers re-admitted after a write therefore
+        always see it, whether they hit a thread replica or a worker
+        process.
+
+        The write contract is atomic-error: an exception means nothing
+        changed (index mutations are atomic, and republish only runs
+        after a successful mutation).  A republish failure therefore
+        does *not* fail the write — the mutation is applied and
+        durable, and raising would invite callers to retry it into
+        duplicates.  Instead the error is kept on
+        :attr:`last_republish_error` (and counted in the stats) while
+        the read path stays fenced: a poisoned pool raises
+        :class:`PoolBrokenError` from every search, and a pool left on
+        the old generation trips the epoch guard in ``_dispatch``.  A
+        later successful write re-syncs the pool.
+        """
+        if self._pool is None:
+            return await self._router.write(mutate)
+        pool = self._pool
+
+        def mutate_then_republish(index: FerexIndex):
+            # Runs on an executor thread (the router off-loads
+            # mutations), so no stats or server-attribute writes here —
+            # the outcome is returned to the loop thread instead.
+            result = mutate(index)
+            try:
+                pool.republish()
+            except Exception as exc:
+                return result, exc
+            return result, None
+
+        result, republish_error = await self._router.write(
+            mutate_then_republish
+        )
+        self._republish_error = republish_error
+        if republish_error is not None:
+            self.stats.record_error()
+        return result
+
+    @property
+    def last_republish_error(self) -> Optional[BaseException]:
+        """The most recent write's pool-republish failure (``None``
+        after a clean write).  The write itself succeeded; reads are
+        fenced until the pool re-syncs."""
+        return self._republish_error
+
     async def add(
         self,
         vectors: np.ndarray,
@@ -248,7 +399,7 @@ class FerexServer:
         # conservative — but it must drop even then, so a write that
         # *poisons* the fleet cannot leave stale hits behind.
         try:
-            return await self._router.write(
+            return await self._write(
                 lambda index: index.add(vectors, ids=ids)
             )
         finally:
@@ -257,16 +408,14 @@ class FerexServer:
     async def remove(self, ids: Sequence[int]) -> int:
         """Tombstone ids on every replica."""
         try:
-            return await self._router.write(
-                lambda index: index.remove(ids)
-            )
+            return await self._write(lambda index: index.remove(ids))
         finally:
             self._cache.clear()
 
     async def compact(self) -> None:
         """Physically re-program the live set on every replica."""
         try:
-            await self._router.write(lambda index: index.compact())
+            await self._write(lambda index: index.compact())
         finally:
             self._cache.clear()
 

@@ -7,6 +7,15 @@ from repro.devices.tech import FeFETParams, TechConfig
 from repro.core.dm import DistanceMatrix
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: load/soak tests; run a reduced quick profile by default "
+        "(scale via env, e.g. FEREX_SOAK_REQUESTS), deselect with "
+        "-m 'not slow'",
+    )
+
+
 @pytest.fixture
 def fefet_params():
     """Default three-level FeFET parameters."""

@@ -85,9 +85,54 @@ class TestLatencySummaries:
         with pytest.raises(ValueError):
             percentile(np.empty(0), 50)
 
+    def test_empty_percentile_rejected_for_every_q(self):
+        # Empty input is a contract violation whatever the q — the
+        # guard must not only fire for interior percentiles.
+        for q in (0.0, 50.0, 100.0):
+            with pytest.raises(ValueError, match="at least one"):
+                percentile([], q)
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 25.0, 50.0, 99.0, 100.0):
+            assert percentile([0.42], q) == pytest.approx(0.42)
+
+    def test_duplicate_values_collapse_to_the_value(self):
+        samples = [3.0] * 7
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert percentile(samples, q) == pytest.approx(3.0)
+
+    def test_p0_and_p100_are_min_and_max(self):
+        samples = [0.4, 0.1, 0.9, 0.2]
+        assert percentile(samples, 0.0) == pytest.approx(0.1)
+        assert percentile(samples, 100.0) == pytest.approx(0.9)
+
+    def test_q_bounds_are_inclusive_and_beyond_rejected(self):
+        samples = [1.0, 2.0]
+        assert percentile(samples, 0.0) == pytest.approx(1.0)
+        assert percentile(samples, 100.0) == pytest.approx(2.0)
+        for bad_q in (-0.001, 100.001, 1e6):
+            with pytest.raises(ValueError, match="within"):
+                percentile(samples, bad_q)
+
     def test_empty_summary_is_zeros(self):
         summary = summarize_latencies([])
         assert summary["count"] == 0 and summary["p95"] == 0.0
+        assert set(summary) == {
+            "count", "mean", "p50", "p95", "p99", "max"
+        }
+        assert all(value == 0 for value in summary.values())
+
+    def test_single_sample_summary(self):
+        summary = summarize_latencies([0.25])
+        assert summary["count"] == 1
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert summary[key] == pytest.approx(0.25)
+
+    def test_duplicate_sample_summary(self):
+        summary = summarize_latencies([0.5, 0.5, 0.5])
+        assert summary["count"] == 3
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            assert summary[key] == pytest.approx(0.5)
 
     def test_summary_shape(self):
         summary = summarize_latencies([0.2, 0.1, 0.4, 0.3])

@@ -134,6 +134,65 @@ def test_cancelled_caller_drops_out_before_dispatch():
     asyncio.run(main())
 
 
+def test_cancel_during_adaptive_fast_path_park_leaves_no_ghost():
+    """Regression: a caller cancelled during the fast path's one-tick
+    park never reaches the await on its future, so the done-future
+    filter can't drop it — the entry must be removed explicitly or it
+    lingers in the queue and is dispatched as wasted work later."""
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=8, max_wait_ms=1, adaptive_wait=True
+        )
+        # Warm the EWMAs: one served request gives a (tiny) service
+        # estimate, and the wall-clock gap to the next submit exceeds
+        # it, so the next lone submit takes the fast path.
+        await coalescer.submit(np.zeros(3, dtype=int), 1)
+        doomed = asyncio.ensure_future(
+            coalescer.submit(np.ones(3, dtype=int), 1)
+        )
+        await asyncio.sleep(0)  # advance doomed to its one-tick park
+        assert coalescer.n_pending == 1
+        doomed.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await doomed
+        assert coalescer.n_pending == 0  # no ghost left behind
+        ids, _ = await coalescer.submit(np.full(3, 2, dtype=int), 1)
+        assert ids.tolist() == [6]
+        # The cancelled query (row sum 3) never reached the backend,
+        # alone or as a stowaway in a later batch.
+        assert all(
+            (batch.sum(axis=1) != 3).all() for batch, _ in recorder.batches
+        )
+        assert all(len(batch) == 1 for batch, _ in recorder.batches)
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_fast_path_park_cannot_exceed_max_batch_size():
+    """Regression: a request parked by the adaptive fast path (which
+    bypasses the normal size-trigger check) joined by a same-tick
+    arrival must still dispatch in batches capped at max_batch_size."""
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=1, max_wait_ms=1, adaptive_wait=True
+        )
+        await coalescer.submit(np.zeros(3, dtype=int), 1)  # warm EWMAs
+        results = await asyncio.gather(
+            coalescer.submit(np.ones(3, dtype=int), 1),
+            coalescer.submit(np.full(3, 2, dtype=int), 1),
+        )
+        assert [ids.tolist() for ids, _ in results] == [[3], [6]]
+        assert all(len(batch) <= 1 for batch, _ in recorder.batches)
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
 def test_timeout_mid_dispatch_leaves_batch_unharmed():
     recorder = Recorder(delay_s=0.05)
 
