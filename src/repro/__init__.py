@@ -26,6 +26,7 @@ The application layer (``KNNClassifier``, ``HDCClassifier``,
 """
 
 from .core import (
+    BankConfig,
     DistanceMatrix,
     FeReX,
     NotProgrammedError,
@@ -45,6 +46,7 @@ _LAZY_EXPORTS = {
     "FerexBackend": ("repro.index", "FerexBackend"),
     "ExactBackend": ("repro.index", "ExactBackend"),
     "GPUBackend": ("repro.index", "GPUBackend"),
+    "TieredBackend": ("repro.index", "TieredBackend"),
     "FerexServer": ("repro.serve", "FerexServer"),
     "ProcReplicaPool": ("repro.serve", "ProcReplicaPool"),
     "QueryCache": ("repro.serve", "QueryCache"),
@@ -54,6 +56,7 @@ _LAZY_EXPORTS = {
 }
 
 __all__ = [
+    "BankConfig",
     "DistanceMatrix",
     "FeReX",
     "NotProgrammedError",

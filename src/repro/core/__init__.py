@@ -2,6 +2,7 @@
 distance encoding and the search-engine API built on it.
 """
 
+from .config import BankConfig, as_bank_config, quantize_codes
 from .constructive import (
     constructive_cell,
     euclidean_cell,
@@ -49,6 +50,7 @@ from .feasibility import (
 )
 
 __all__ = [
+    "BankConfig",
     "CSP",
     "CellEncoding",
     "CellSolution",
@@ -67,6 +69,7 @@ __all__ = [
     "NotProgrammedError",
     "RowAssignment",
     "ac3",
+    "as_bank_config",
     "available_metrics",
     "backtracking_search",
     "best_encoding",
@@ -86,6 +89,7 @@ __all__ = [
     "manhattan_cell",
     "min_fefets_for",
     "off_count_search_levels",
+    "quantize_codes",
     "register_metric",
     "rows_compatible",
     "solve_all",

@@ -92,17 +92,9 @@ class DistanceMetric:
 
         q = queries[:, None, :]
         s = stored[None, :, :]
-        if self.name == "hamming":
-            diff = np.bitwise_xor(q, s)
-            total = np.zeros(diff.shape[:2], dtype=np.int64)
-            for b in range(bits):
-                total += ((diff >> b) & 1).sum(axis=2)
-            return total
-        if self.name == "manhattan":
-            return np.abs(q - s).sum(axis=2)
-        if self.name == "euclidean":
-            d = q - s
-            return (d * d).sum(axis=2)
+        fast = self._bulk_sum(q, s, bits)
+        if fast is not None:
+            return fast
         # Generic fallback through the element function.
         n_q, n_s = queries.shape[0], stored.shape[0]
         out = np.zeros((n_q, n_s), dtype=np.int64)
@@ -110,6 +102,83 @@ class DistanceMetric:
             for j in range(n_s):
                 out[i, j] = self.vector(queries[i], stored[j], bits)
         return out
+
+    def rowwise(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        bits: int,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """(n, C) distances of each query row to its *own* candidate set.
+
+        The rescore kernel of tiered (coarse-to-fine) search: a coarse
+        pass nominates ``C`` candidates per query, so the fine pass
+        needs each query's distance to a *different* stored subset —
+        ``candidates`` is (n, C, dims) gathered per query, not the
+        (n_stored, dims) cross table :meth:`pairwise` prices.
+
+        ``validate=False`` skips the range scans over both blocks —
+        they cost a couple of extra full passes over the candidate
+        tensor, which matters on the tiered hot path where every input
+        was already validated upstream (the index checked the queries,
+        and candidates are gathered from its own add-validated store).
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if queries.ndim != 2 or candidates.ndim != 3:
+            raise ValueError(
+                "expected (n, dims) queries and (n, C, dims) candidates"
+            )
+        if (
+            candidates.shape[0] != queries.shape[0]
+            or candidates.shape[2] != queries.shape[1]
+        ):
+            raise ValueError(
+                f"candidate block {candidates.shape} does not align "
+                f"with queries {queries.shape}"
+            )
+        if validate:
+            hi = 1 << bits
+            if (
+                queries.min(initial=0) < 0
+                or queries.max(initial=0) >= hi
+            ):
+                raise ValueError(f"query values outside [0, {hi})")
+            if (
+                candidates.min(initial=0) < 0
+                or candidates.max(initial=0) >= hi
+            ):
+                raise ValueError(f"candidate values outside [0, {hi})")
+        q = queries[:, None, :]
+        fast = self._bulk_sum(q, candidates, bits)
+        if fast is not None:
+            return fast
+        n, c = candidates.shape[:2]
+        out = np.zeros((n, c), dtype=np.int64)
+        for i in range(n):
+            for j in range(c):
+                out[i, j] = self.vector(queries[i], candidates[i, j], bits)
+        return out
+
+    def _bulk_sum(self, q: np.ndarray, s: np.ndarray, bits: int):
+        """Vectorised elementwise-sum kernel over broadcastable integer
+        blocks (``None`` when the metric has no closed numpy form and
+        the caller must fall back to :meth:`vector` loops)."""
+        if self.name == "hamming":
+            diff = np.bitwise_xor(q, s)
+            total = np.zeros(
+                np.broadcast_shapes(q.shape, s.shape)[:-1], dtype=np.int64
+            )
+            for b in range(bits):
+                total += ((diff >> b) & 1).sum(axis=-1)
+            return total
+        if self.name == "manhattan":
+            return np.abs(q - s).sum(axis=-1)
+        if self.name == "euclidean":
+            d = q - s
+            return (d * d).sum(axis=-1)
+        return None
 
 
 def _check_value(value: int, bits: int) -> None:

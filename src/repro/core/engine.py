@@ -53,9 +53,10 @@ import numpy as np
 from ..arch.crossbar import FeReXArray, SearchResult
 from ..devices.tech import TechConfig, DEFAULT_TECH
 from ..devices.variation import ArrayVariation, VariationSampler
+from .config import BankConfig, as_bank_config
 from .constructive import constructive_cell, has_constructive
 from .dm import DistanceMatrix
-from .distance import DistanceMetric, get_metric
+from .distance import DistanceMetric
 from .encoding import CellEncoding, best_encoding, encode_cell
 from .feasibility import find_min_cell
 
@@ -133,6 +134,12 @@ class FeReX:
         Optional explicit :class:`ArrayVariation` or a seed from which the
         engine samples variation at ``program`` time.  Default: ideal
         devices.
+    config:
+        A ready :class:`BankConfig` carrying (metric, bits) as one value
+        object — the first-class form every layer above (index banks,
+        backends, persistence) threads through.  Mutually redundant with
+        ``metric``/``bits``: when given it wins, and the engine's
+        :attr:`config` always reports the effective pair either way.
     """
 
     def __init__(
@@ -146,17 +153,18 @@ class FeReX:
         tech: Optional[TechConfig] = None,
         variation: Optional[ArrayVariation] = None,
         seed: Optional[int] = None,
+        config: Optional[BankConfig] = None,
     ):
-        if bits < 1:
-            raise ValueError("bits must be >= 1")
         if dims < 1:
             raise ValueError("dims must be >= 1")
-        self.metric = (
-            get_metric(metric) if isinstance(metric, str) else metric
+        #: The engine's re-voltageable configuration (metric + bits).
+        self.config = (
+            config if config is not None else as_bank_config(metric, bits)
         )
-        self.bits = bits
+        self.metric = self.config.resolved
+        self.bits = self.config.bits
         self.dims = dims
-        self.dm = DistanceMatrix.from_metric(self.metric, bits)
+        self.dm = DistanceMatrix.from_metric(self.metric, self.bits)
         self.encoding = self._configure(encoder, max_k, current_range)
         self.tech = self._specialise_tech(tech or DEFAULT_TECH)
         self._variation = variation

@@ -3,25 +3,34 @@
 :class:`FerexIndex` is the facade every application-level consumer
 (KNN, HDC inference, Monte Carlo sweeps) searches through; the
 :class:`SearchBackend` protocol makes the execution substrate pluggable
-(sharded FeReX banks, exact software, GPU roofline baseline).
+(sharded FeReX banks, exact software, GPU roofline baseline, tiered
+coarse-to-fine).  Configuration is first-class: every backend — and
+every ferex bank — carries a :class:`repro.core.BankConfig`, and
+:meth:`FerexIndex.reconfigure` re-voltages banks online.
 """
 
+from ..core.config import BankConfig, as_bank_config, quantize_codes
 from .backends import (
     BACKENDS,
     ExactBackend,
     FerexBackend,
     GPUBackend,
     SearchBackend,
+    TieredBackend,
 )
 from .index import FerexIndex, SearchOutcome, state_digest
 
 __all__ = [
     "BACKENDS",
+    "BankConfig",
     "ExactBackend",
     "FerexBackend",
     "FerexIndex",
     "GPUBackend",
     "SearchBackend",
     "SearchOutcome",
+    "TieredBackend",
+    "as_bank_config",
+    "quantize_codes",
     "state_digest",
 ]

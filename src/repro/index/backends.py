@@ -4,7 +4,9 @@ A backend is a *position-space* nearest-neighbor engine: the index owns
 ids and the canonical vector store; the backend answers ``search`` with
 global insertion positions, and is told about every mutation through the
 same three verbs the index exposes (``add`` / ``deactivate`` /
-``rebuild``).  Three implementations ship:
+``rebuild``).  Every backend carries a :class:`repro.core.BankConfig` —
+the (metric, bits) pair it is currently voltaged for — and four
+implementations ship:
 
 * :class:`FerexBackend` — sharded banks of :class:`repro.core.FeReX`
   engines.  Vectors fill a bank row by row through the crossbar's
@@ -14,7 +16,11 @@ same three verbs the index exposes (``add`` / ``deactivate`` /
   capacity and tombstoned rows masked out of the LTA competition, and
   bank candidates merge through one vectorised lexsort on
   (analog distance, global position) — exactly how a multi-bank FeFET
-  CAM deployment composes its LTA outputs.
+  CAM deployment composes its LTA outputs.  Banks may carry
+  *heterogeneous* configs: a bank re-voltaged at fewer bits stores the
+  top bits of the canonical codes (:func:`repro.core.quantize_codes`)
+  and quantises queries the same way, which is how a coarse
+  low-precision tier shares the fleet with full-precision banks.
 * :class:`ExactBackend` — the exact software reference
   (:meth:`DistanceMetric.pairwise`), the baseline hardware winners are
   validated against.
@@ -22,6 +28,13 @@ same three verbs the index exposes (``add`` / ``deactivate`` /
   estimate of the equivalent GPU kernel
   (:class:`repro.eval.gpu_model.GPUCostModel`), for paper-style
   FeReX-vs-GPU comparisons on real query streams.
+* :class:`TieredBackend` — coarse-to-fine search: a cheap low-bit
+  :class:`FerexBackend` pass over all banks nominates the top
+  ``refine_factor * k`` candidates, which are rescored at full
+  precision (:meth:`DistanceMetric.rowwise`).  The classic ANN
+  accelerator pattern the paper's reconfigurability enables: the same
+  stored set served at two precisions, paying the wide-alphabet cell
+  cost only for a shortlist.
 
 Memory note
 -----------
@@ -39,7 +52,11 @@ Under a seed, bank ``b`` samples its full-capacity variation once
 every allocation slices a prefix of that sample.  Row ``r`` of a bank
 therefore carries the same device instance no matter how the bank grew,
 which is what makes incremental ``add`` bit-identical to one-shot
-programming and ``save``/``load`` round trips exact.
+programming and ``save``/``load`` round trips exact.  Re-voltaging a
+bank (:meth:`FerexBackend.reconfigure_banks`) re-samples at the new
+cell geometry with the *same* per-bank seed — exactly what a fresh
+index built at the target config would draw — so reconfigure keeps the
+bit-identity guarantee too.
 """
 
 from __future__ import annotations
@@ -49,7 +66,8 @@ from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
-from ..core.distance import DistanceMetric, get_metric
+from ..core.config import BankConfig, as_bank_config, quantize_codes
+from ..core.distance import DistanceMetric
 from ..core.engine import FeReX
 from ..devices.variation import ArrayVariation, VariationSampler
 
@@ -65,6 +83,9 @@ class SearchBackend(Protocol):
     #: Registry key used by persistence (``save`` stores it, ``load``
     #: reconstructs the backend from it).
     name: str
+
+    #: The (metric, bits) configuration the backend is voltaged for.
+    config: BankConfig
 
     def add(self, vectors: np.ndarray) -> None:
         """Append (n, dims) vectors at the next free positions."""
@@ -99,12 +120,16 @@ class ExactBackend:
     name = "exact"
 
     def __init__(
-        self, metric: "str | DistanceMetric", bits: int, dims: int
+        self,
+        metric: "str | DistanceMetric | BankConfig",
+        bits: Optional[int] = None,
+        dims: Optional[int] = None,
     ):
-        self.metric = (
-            get_metric(metric) if isinstance(metric, str) else metric
-        )
-        self.bits = bits
+        self.config = as_bank_config(metric, bits)
+        self.metric = self.config.resolved
+        self.bits = self.config.bits
+        if dims is None:
+            raise ValueError("dims is required")
         self.dims = dims
         self._vectors = np.empty((0, dims), dtype=int)
         self._alive = np.empty(0, dtype=bool)
@@ -150,9 +175,9 @@ class GPUBackend(ExactBackend):
 
     def __init__(
         self,
-        metric: "str | DistanceMetric",
-        bits: int,
-        dims: int,
+        metric: "str | DistanceMetric | BankConfig",
+        bits: Optional[int] = None,
+        dims: Optional[int] = None,
         spec=None,
         batch_size: int = 256,
     ):
@@ -190,11 +215,17 @@ class _Bank:
     """One physical shard: a FeReX engine plus its occupancy state."""
 
     engine: FeReX
+    #: The (metric, bits) this bank is currently voltaged for.  Codes
+    #: and queries are quantised from the backend alphabet to this one
+    #: on the way into the engine.
+    config: BankConfig
     #: Maximum rows this bank ever holds (the shard height).
     capacity: int
     #: Global position of this bank's row 0.
     start: int
-    #: Vectors physically written, in row order (tombstones included).
+    #: Vectors physically written, in row order (tombstones included),
+    #: kept at the *backend* alphabet — the bank re-quantises on write,
+    #: so re-voltaging the bank never needs the index's help.
     vectors: np.ndarray
     #: Per written row: does it still compete?
     alive: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
@@ -237,24 +268,26 @@ class FerexBackend:
     Parameters mirror :class:`repro.core.FeReX`; ``bank_rows`` is the
     shard height (the physical array capacity of each bank).  ``seed``
     seeds device variation per bank (``seed + bank_index``); ``None``
-    keeps ideal devices.
+    keeps ideal devices.  ``metric`` also accepts a ready
+    :class:`BankConfig` (with ``bits`` omitted).
     """
 
     name = "ferex"
 
     def __init__(
         self,
-        metric: "str | DistanceMetric",
-        bits: int,
-        dims: int,
+        metric: "str | DistanceMetric | BankConfig",
+        bits: Optional[int] = None,
+        dims: Optional[int] = None,
         bank_rows: int = 1024,
         encoder: str = "auto",
         seed: Optional[int] = None,
     ):
+        if dims is None:
+            raise ValueError("dims is required")
         if bank_rows < 1:
             raise ValueError("bank_rows must be >= 1")
-        self.metric = metric
-        self.bits = bits
+        self.config = as_bank_config(metric, bits)
         self.dims = dims
         self.bank_rows = bank_rows
         self.encoder = encoder
@@ -262,6 +295,16 @@ class FerexBackend:
         self._banks: List[_Bank] = []
 
     # ------------------------------------------------------------------
+    @property
+    def metric(self):
+        """The backend-level metric (new banks open at this)."""
+        return self.config.metric
+
+    @property
+    def bits(self) -> int:
+        """The backend-level (storage alphabet) bit width."""
+        return self.config.bits
+
     @property
     def n_banks(self) -> int:
         return len(self._banks)
@@ -271,27 +314,38 @@ class FerexBackend:
         """The per-bank engines (read-only introspection)."""
         return [bank.engine for bank in self._banks]
 
+    @property
+    def bank_configs(self) -> Tuple[BankConfig, ...]:
+        """Each bank's current (metric, bits) voltage configuration."""
+        return tuple(bank.config for bank in self._banks)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def _open_bank(self) -> _Bank:
-        index = len(self._banks)
-        engine = FeReX(
-            metric=self.metric,
-            bits=self.bits,
-            dims=self.dims,
-            encoder=self.encoder,
-        )
+    def _bank_engine(
+        self, ordinal: int, config: BankConfig
+    ) -> Tuple[FeReX, Optional[ArrayVariation]]:
+        """Build bank ``ordinal``'s engine + full-capacity variation
+        sample for ``config`` — the same draw a fresh index built at
+        that config would make (seed depends only on the bank ordinal;
+        the sample geometry follows the config's cell size)."""
+        engine = FeReX(dims=self.dims, encoder=self.encoder, config=config)
         variation = None
         if self.seed is not None:
             sampler = VariationSampler(
-                engine.tech.variation, seed=self.seed + index
+                engine.tech.variation, seed=self.seed + ordinal
             )
             variation = sampler.sample_array(
                 self.bank_rows, engine.physical_cols
             )
+        return engine, variation
+
+    def _open_bank(self) -> _Bank:
+        index = len(self._banks)
+        engine, variation = self._bank_engine(index, self.config)
         bank = _Bank(
             engine=engine,
+            config=self.config,
             capacity=self.bank_rows,
             start=index * self.bank_rows,
             vectors=np.empty((0, self.dims), dtype=int),
@@ -310,6 +364,8 @@ class FerexBackend:
         the bank capacity) with the *same* sliced variation sample and
         every written row re-programmed — results are identical either
         way because each row's device instance is fixed by its position.
+        Codes are re-quantised to the bank's alphabet on the way in;
+        ``bank.vectors`` keeps the full-precision originals.
         """
         old = bank.written
         total = old + len(vectors)
@@ -320,10 +376,20 @@ class FerexBackend:
                 alloc, variation=_slice_variation(bank.variation, alloc)
             )
             bank.vectors = np.concatenate([bank.vectors, vectors])
-            bank.engine.write_rows(0, bank.vectors)
+            bank.engine.write_rows(
+                0,
+                quantize_codes(
+                    bank.vectors, self.config.bits, bank.config.bits
+                ),
+            )
         else:
             bank.vectors = np.concatenate([bank.vectors, vectors])
-            bank.engine.write_rows(old, vectors)
+            bank.engine.write_rows(
+                old,
+                quantize_codes(
+                    vectors, self.config.bits, bank.config.bits
+                ),
+            )
         bank.alive = np.concatenate(
             [bank.alive, np.ones(len(vectors), dtype=bool)]
         )
@@ -349,6 +415,98 @@ class FerexBackend:
             self.add(np.asarray(vectors, dtype=int))
 
     # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def _rebuilt_bank(self, ordinal: int, config: BankConfig) -> _Bank:
+        """A replacement for bank ``ordinal`` re-voltaged at ``config``,
+        re-programmed from the retained codes (tombstones keep their
+        rows, so positions — and the parity guarantees hanging off
+        them — survive the re-voltage)."""
+        old = self._banks[ordinal]
+        engine, variation = self._bank_engine(ordinal, config)
+        bank = _Bank(
+            engine=engine,
+            config=config,
+            capacity=old.capacity,
+            start=old.start,
+            vectors=np.empty((0, self.dims), dtype=int),
+            alive=np.empty(0, dtype=bool),
+            variation=variation,
+        )
+        if old.written:
+            self._write(bank, old.vectors)
+            bank.alive = old.alive.copy()
+        return bank
+
+    def reconfigure_banks(
+        self, config: BankConfig, ordinals: "Optional[List[int]]" = None
+    ) -> None:
+        """Re-voltage banks at ``config``, re-programming each from its
+        retained stored codes.
+
+        ``ordinals`` selects a subset (heterogeneous fleets — e.g. a
+        low-bit coarse tier next to full-precision banks); ``None``
+        re-voltages every bank *and* moves the backend-level config, so
+        banks opened later match.  All replacement engines are built
+        before any bank is swapped: a config with no feasible cell
+        encoding raises without mutating anything.
+
+        The whole-backend form (``ordinals=None``) moves the *storage*
+        alphabet, so the retained codes must fit the target width —
+        the same constraint a fresh build at ``config`` would enforce
+        (a subset re-voltage quantises instead, because the backend
+        alphabet stays put).
+        """
+        if ordinals is None:
+            if config.bits < self.config.bits and any(
+                bank.written and int(bank.vectors.max()) >= config.n_values
+                for bank in self._banks
+            ):
+                raise ValueError(
+                    f"stored codes exceed the {config.bits}-bit "
+                    "alphabet; re-voltage a subset via ordinals=[...] "
+                    "to quantise instead"
+                )
+            targets = list(range(len(self._banks)))
+            # The storage alphabet moves with the fleet: swap it first
+            # (restored on failure) so the re-programs — and every
+            # later incremental write — re-quantise from the new
+            # width, i.e. not at all.
+            previous = self.config
+            self.config = config
+            try:
+                rebuilt = {
+                    o: self._rebuilt_bank(o, config) for o in targets
+                }
+            except Exception:
+                self.config = previous
+                raise
+        else:
+            targets = [int(o) for o in ordinals]
+            if len(set(targets)) != len(targets):
+                raise ValueError("duplicate bank ordinals")
+            for o in targets:
+                if not 0 <= o < len(self._banks):
+                    raise ValueError(
+                        f"bank ordinal {o} outside [0, {len(self._banks)})"
+                    )
+            rebuilt = {o: self._rebuilt_bank(o, config) for o in targets}
+        for o, bank in rebuilt.items():
+            self._banks[o] = bank
+
+    def apply_bank_configs(self, configs: "List[BankConfig]") -> None:
+        """Replay persisted per-bank configs (the ``from_state`` path):
+        re-voltage every bank whose config differs from the record."""
+        if len(configs) != len(self._banks):
+            raise ValueError(
+                f"got {len(configs)} bank configs for "
+                f"{len(self._banks)} banks"
+            )
+        for ordinal, config in enumerate(configs):
+            if config != self._banks[ordinal].config:
+                self._banks[ordinal] = self._rebuilt_bank(ordinal, config)
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def search(
@@ -361,7 +519,10 @@ class FerexBackend:
         tombstoned rows masked out of the LTA); candidates merge on
         (analog distance, global position) — lexsort's last key is
         primary, and the position tie-break matches the exact backend's
-        stable ordering.
+        stable ordering.  Queries re-quantise per bank, so a
+        heterogeneous fleet competes each bank at its own precision
+        (distances from narrower banks are coarse by construction —
+        the tiered search's rescore is what restores full precision).
         """
         bank_idx: List[np.ndarray] = []
         bank_dist: List[np.ndarray] = []
@@ -371,7 +532,11 @@ class FerexBackend:
             if n_live == 0:
                 continue
             result = bank.engine.search_k_batch(
-                queries, min(k, n_live), active_rows=active
+                quantize_codes(
+                    queries, self.config.bits, bank.config.bits
+                ),
+                min(k, n_live),
+                active_rows=active,
             )
             bank_idx.append(bank.start + result.winners)
             bank_dist.append(
@@ -385,10 +550,160 @@ class FerexBackend:
             np.take_along_axis(dist, order, axis=1),
         )
 
+    def shortlist(self, queries: np.ndarray, c: int) -> np.ndarray:
+        """(n, c) nearest global positions by *row-current readout*:
+        one array evaluation per bank, candidates ordered by (unit
+        current, global position).
+
+        The coarse-tier fast path: where :meth:`search` runs ``c``
+        winner-masking LTA rounds per query (each round a full
+        comparator decision — the faithful model of the array emitting
+        winners one at a time), a shortlist only needs the row distance
+        readings once; under ideal devices the (current, position)
+        ordering is exactly the sequence those ``c`` LTA rounds would
+        emit, at the cost of a single evaluation.  ``c`` must not
+        exceed the live row count.
+        """
+        units: List[np.ndarray] = []
+        positions: List[np.ndarray] = []
+        for bank in self._banks:
+            active = bank.active_rows()
+            if not active.any():
+                continue
+            result = bank.engine.search_batch(
+                quantize_codes(
+                    queries, self.config.bits, bank.config.bits
+                ),
+                active_rows=active,
+            )
+            readout = np.array(result.row_units, dtype=float)
+            readout[:, ~active] = np.inf
+            units.append(readout)
+            positions.append(
+                bank.start + np.arange(bank.engine.array.rows)
+            )
+        all_units = np.concatenate(units, axis=1)
+        all_positions = np.concatenate(positions)
+        # Columns are globally position-ascending (banks in order, rows
+        # in order), so a stable argsort tie-breaks on position —
+        # matching the lexsort merge and the exact backend.
+        order = np.argsort(all_units, axis=1, kind="stable")[:, :c]
+        return all_positions[order]
+
+
+class TieredBackend:
+    """Coarse-to-fine search: a low-bit FeReX pass nominates, an exact
+    full-precision rescore decides.
+
+    The coarse tier is a :class:`FerexBackend` voltaged at
+    ``coarse_bits`` (default 1) holding the top bits of every stored
+    code; a search asks it for the ``max(k * refine_factor, k)``
+    nearest candidates per query — a much cheaper array evaluation,
+    since the low-bit cell needs fewer FeFETs per element — then
+    rescores only those candidates with exact full-precision distances
+    (:meth:`DistanceMetric.rowwise`) and returns the top ``k``.
+
+    Returned distances are therefore *exact integer* distances (as
+    floats) rather than analog unit currents, and results are
+    approximate exactly insofar as the coarse tier's shortlist misses a
+    true neighbor — ``benchmarks/bench_reconfig.py`` tracks that recall
+    against the measured speedup.
+
+    ``coarse_bits >= bits`` degenerates gracefully: the coarse pass
+    runs at full precision and the rescore only re-ranks ties.
+    """
+
+    name = "tiered"
+
+    def __init__(
+        self,
+        metric: "str | DistanceMetric | BankConfig",
+        bits: Optional[int] = None,
+        dims: Optional[int] = None,
+        bank_rows: int = 1024,
+        encoder: str = "auto",
+        seed: Optional[int] = None,
+        coarse_bits: int = 1,
+        refine_factor: int = 8,
+    ):
+        if dims is None:
+            raise ValueError("dims is required")
+        if coarse_bits < 1:
+            raise ValueError("coarse_bits must be >= 1")
+        if refine_factor < 1:
+            raise ValueError("refine_factor must be >= 1")
+        self.config = as_bank_config(metric, bits)
+        self.dims = dims
+        self.bank_rows = bank_rows
+        self.encoder = encoder
+        self.seed = seed
+        self.coarse_bits = min(coarse_bits, self.config.bits)
+        self.refine_factor = refine_factor
+        #: The coarse tier: ideal devices (it only nominates; the
+        #: rescore is digital), seeded variation would add cost without
+        #: changing the exact rescored answer set materially.
+        self.coarse = FerexBackend(
+            BankConfig(self.config.metric, self.coarse_bits),
+            dims=dims,
+            bank_rows=bank_rows,
+            encoder=encoder,
+            seed=None,
+        )
+        self._vectors = np.empty((0, dims), dtype=int)
+        self._alive = np.empty(0, dtype=bool)
+
+    @property
+    def n_banks(self) -> int:
+        return self.coarse.n_banks
+
+    def _quantize(self, codes: np.ndarray) -> np.ndarray:
+        return quantize_codes(codes, self.config.bits, self.coarse_bits)
+
+    def add(self, vectors: np.ndarray) -> None:
+        self.coarse.add(self._quantize(vectors))
+        self._vectors = np.concatenate([self._vectors, vectors])
+        self._alive = np.concatenate(
+            [self._alive, np.ones(len(vectors), dtype=bool)]
+        )
+
+    def deactivate(self, positions: np.ndarray) -> None:
+        self.coarse.deactivate(positions)
+        self._alive[positions] = False
+
+    def rebuild(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=int)
+        self.coarse.rebuild(self._quantize(vectors))
+        self._vectors = np.array(vectors, dtype=int)
+        self._alive = np.ones(len(vectors), dtype=bool)
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n_live = int(self._alive.sum())
+        shortlist = min(n_live, max(k * self.refine_factor, k))
+        candidates = self.coarse.shortlist(
+            self._quantize(np.asarray(queries, dtype=int)), shortlist
+        )
+        # validate=False: the index validated the queries and the
+        # candidates come from its own add-validated store — the range
+        # scans would be pure overhead on the rescore hot path.
+        rescored = self.config.resolved.rowwise(
+            queries,
+            self._vectors[candidates],
+            self.config.bits,
+            validate=False,
+        ).astype(float)
+        order = np.lexsort((candidates, rescored))[:, :k]
+        return (
+            np.take_along_axis(candidates, order, axis=1),
+            np.take_along_axis(rescored, order, axis=1),
+        )
+
 
 #: Backend registry used by the index facade and by persistence.
 BACKENDS = {
     ExactBackend.name: ExactBackend,
     GPUBackend.name: GPUBackend,
     FerexBackend.name: FerexBackend,
+    TieredBackend.name: TieredBackend,
 }

@@ -30,6 +30,15 @@ processes can attach them zero-copy (see :mod:`repro.serve.shm`), each
 rebuilding a read-only replica whose searches are bit-identical to the
 source index — the foundation of the multi-process replica pool
 (:class:`repro.serve.ProcReplicaPool`).
+
+Reconfigurability — the paper's "R" — is first-class: the index carries
+a :class:`repro.core.BankConfig` (metric + bits), banks may be
+re-voltaged *online* at a new config via :meth:`reconfigure`
+(re-programmed from the retained stored codes, bit-identical to a fresh
+index built at the target config), and ``search(mode="tiered")`` runs a
+cheap low-bit coarse pass over all banks with a full-precision rescore
+of the shortlist — the coarse-to-fine pattern reconfigurable precision
+exists to enable.
 """
 
 from __future__ import annotations
@@ -41,12 +50,20 @@ from typing import NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.config import BankConfig
 from ..core.distance import DistanceMetric
 from ..core.engine import NotProgrammedError
-from .backends import BACKENDS, FerexBackend, SearchBackend
+from .backends import (
+    BACKENDS,
+    FerexBackend,
+    SearchBackend,
+    TieredBackend,
+)
 
-#: Bumped when the on-disk layout changes.
-_FORMAT_VERSION = 1
+#: Bumped when the on-disk layout changes.  Version 2 added
+#: ``bank_configs`` (heterogeneous per-bank voltage configurations) and
+#: ``backend_options``; both are optional, so version-1 files load.
+_FORMAT_VERSION = 2
 
 
 def _buffer(array: np.ndarray) -> "bytes | memoryview":
@@ -89,8 +106,8 @@ class SearchOutcome(NamedTuple):
     #: ``-1`` (no id is ever negative).
     ids: np.ndarray
     #: (n_queries, k) distances — analog unit currents for the ferex
-    #: backend, exact integer distances (as floats) for exact/gpu.
-    #: Padded entries hold ``inf``.
+    #: backend, exact integer distances (as floats) for
+    #: exact/gpu/tiered.  Padded entries hold ``inf``.
     distances: np.ndarray
 
 
@@ -101,17 +118,26 @@ class FerexIndex:
     ----------
     dims / metric / bits:
         Vector geometry and the configured distance function (any
-        registered metric name or a :class:`DistanceMetric`).
+        registered metric name or a :class:`DistanceMetric`).  Metric
+        names are validated eagerly — an unknown name raises here, not
+        at the first search.  ``config=`` accepts the same pair as one
+        :class:`BankConfig` value object.
     backend:
         ``"ferex"`` (sharded array simulation — the default), ``"exact"``
         (software reference), ``"gpu"`` (exact winners + roofline
-        estimates), or a ready :class:`SearchBackend` instance.
+        estimates), ``"tiered"`` (low-bit coarse pass + full-precision
+        rescore), or a ready :class:`SearchBackend` instance.
     bank_rows:
         Shard height: vectors per physical array bank (ferex backend).
     encoder / seed:
         Passed to the per-bank engines; ``seed`` enables device
         variation (bank ``b`` uses ``seed + b``), ``None`` keeps ideal
         devices.
+    backend_options:
+        Extra JSON-able keyword arguments for registry-kind backends
+        (e.g. ``{"coarse_bits": 1, "refine_factor": 8}`` for
+        ``"tiered"``); persisted with the index so ``save``/``load``
+        rebuilds the identical backend.
     """
 
     def __init__(
@@ -123,23 +149,27 @@ class FerexIndex:
         bank_rows: int = 1024,
         encoder: str = "auto",
         seed: Optional[int] = None,
+        config: Optional[BankConfig] = None,
+        backend_options: Optional[dict] = None,
     ):
         if dims < 1:
             raise ValueError("dims must be >= 1")
-        if bits < 1:
-            raise ValueError("bits must be >= 1")
         if bank_rows < 1:
             raise ValueError("bank_rows must be >= 1")
+        # Eager validation: BankConfig rejects bits < 1 and unknown
+        # metric names at construction time.
+        self._config = (
+            config if config is not None else BankConfig(metric, bits)
+        )
         self.dims = dims
-        self.metric = metric
-        self.bits = bits
         self.bank_rows = bank_rows
         self.encoder = encoder
         self.seed = seed
         #: Registry kind when the index built the backend itself; None
         #: for caller-supplied instances (whose configuration the index
-        #: cannot see, so it refuses to persist them).
+        #: cannot see, so it refuses to persist or reconfigure them).
         self._backend_kind = backend if isinstance(backend, str) else None
+        self._backend_options = dict(backend_options or {})
         self._backend = self._make_backend(backend)
         self._vectors = np.empty((0, dims), dtype=int)
         self._ids = np.empty(0, dtype=np.int64)
@@ -153,6 +183,12 @@ class FerexIndex:
         #: arrays alias another process's segments, so mutation is
         #: refused — writes go to the publisher, which republishes.
         self._read_only = False
+        # Lazily-built shadow for search(mode="tiered") over a
+        # non-tiered primary backend; invalidated by write generation
+        # and dropped wholesale on reconfigure.
+        self._shadow_tiered: Optional[TieredBackend] = None
+        self._shadow_key: Optional[tuple] = None
+        self._shadow_generation: Optional[int] = None
 
     def _make_backend(
         self, backend: Union[str, SearchBackend]
@@ -163,20 +199,45 @@ class FerexIndex:
             raise ValueError(
                 f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
             )
-        if backend == "ferex":
-            return FerexBackend(
-                metric=self.metric,
-                bits=self.bits,
+        if backend in ("ferex", "tiered"):
+            return BACKENDS[backend](
+                self._config,
                 dims=self.dims,
                 bank_rows=self.bank_rows,
                 encoder=self.encoder,
                 seed=self.seed,
+                **self._backend_options,
             )
-        return BACKENDS[backend](self.metric, self.bits, self.dims)
+        return BACKENDS[backend](
+            self._config, dims=self.dims, **self._backend_options
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def config(self) -> BankConfig:
+        """The index-level :class:`BankConfig` (storage alphabet +
+        metric).  Individual banks may be re-voltaged away from it —
+        see :attr:`bank_configs`."""
+        return self._config
+
+    @property
+    def metric(self):
+        """The configured metric, as passed (name or instance)."""
+        return self._config.metric
+
+    @property
+    def bits(self) -> int:
+        """Bit width of the stored alphabet."""
+        return self._config.bits
+
+    @property
+    def bank_configs(self) -> "tuple[BankConfig, ...]":
+        """Per-bank voltage configurations (empty for unbanked
+        backends); heterogeneous after a partial :meth:`reconfigure`."""
+        return getattr(self._backend, "bank_configs", ())
+
     @property
     def backend(self) -> SearchBackend:
         """The live backend instance."""
@@ -195,7 +256,8 @@ class FerexIndex:
     @property
     def write_generation(self) -> int:
         """Monotonic mutation counter: bumped by every successful
-        ``add``/``remove``/``compact`` (and once by ``load``).
+        ``add``/``remove``/``compact``/``reconfigure`` (and once by
+        ``load``).
 
         Serving layers key query caches on ``(query bytes, k,
         write_generation)`` so any mutation implicitly invalidates every
@@ -203,13 +265,23 @@ class FerexIndex:
         """
         return self._write_generation
 
+    def _bank_config_records(self) -> "Optional[list]":
+        """Per-bank config dicts when any bank diverges from the
+        index-level config; ``None`` for a homogeneous fleet (the
+        common case, and the version-1 metadata shape)."""
+        configs = self.bank_configs
+        if not configs or all(c == self._config for c in configs):
+            return None
+        return [c.as_dict() for c in configs]
+
     def fingerprint(self) -> str:
         """Cheap stable digest of configuration + mutation history.
 
         The digest folds in the index configuration (dims, metric, bits,
-        backend kind, bank geometry, seed) and a rolling hash of every
-        mutation applied (op tag + ids + vector payload), so it is O(1)
-        to read and O(delta) to maintain — no re-hash of the stored set.
+        backend kind, per-bank configs, bank geometry, seed) and a
+        rolling hash of every mutation applied (op tag + ids + vector
+        payload), so it is O(1) to read and O(delta) to maintain — no
+        re-hash of the stored set.
 
         Two indexes report the same fingerprint iff they were built with
         the same configuration and driven through the same mutation
@@ -227,6 +299,8 @@ class FerexIndex:
                 "backend": self._backend_kind
                 or type(self._backend).__name__,
                 "bank_rows": self.bank_rows,
+                "bank_configs": self._bank_config_records(),
+                "backend_options": self._backend_options,
                 "encoder": self.encoder,
                 "seed": self.seed,
                 "write_generation": self._write_generation,
@@ -273,9 +347,7 @@ class FerexIndex:
         )
 
     def _metric_name(self) -> str:
-        return (
-            self.metric if isinstance(self.metric, str) else self.metric.name
-        )
+        return self._config.metric_name
 
     # ------------------------------------------------------------------
     # Writes
@@ -366,7 +438,14 @@ class FerexIndex:
     def compact(self) -> None:
         """Physically re-program the live set, reclaiming tombstoned
         rows.  Ids survive; positions (and therefore per-row variation
-        instances) are reassigned."""
+        instances) are reassigned.
+
+        A compaction is a fresh build of the live set, so any
+        heterogeneous per-bank configs (:meth:`reconfigure` with
+        ``banks=``) are re-voltaged back to the homogeneous index-level
+        config — the positional tiers they described no longer exist
+        once rows move banks.  Re-apply the partial reconfigure after
+        compacting if the fleet should stay mixed."""
         self._check_writable()
         live = np.flatnonzero(self._alive)
         self._vectors = self._vectors[live]
@@ -379,18 +458,146 @@ class FerexIndex:
         self._note_mutation(b"compact")
 
     # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        bits: Optional[int] = None,
+        metric: "str | DistanceMetric | None" = None,
+        banks: Optional[Sequence[int]] = None,
+    ) -> BankConfig:
+        """Re-voltage the index (or a subset of banks) at a new
+        (metric, bits) configuration, online, from the retained stored
+        codes.  Returns the target :class:`BankConfig`.
+
+        With ``banks=None`` (the default) the whole index moves: the
+        backend is rebuilt at the target config through the same
+        deterministic write path ``from_state`` replays, so the result
+        is **bit-identical to a fresh index built at the target config**
+        from the same vectors (ids, tombstones, per-row variation draws
+        and all).  Stored codes must fit the target alphabet — exactly
+        the constraint a fresh build would enforce.
+
+        With ``banks=[...]`` (ferex backend only) just those banks are
+        re-voltaged, yielding a *heterogeneous* fleet: narrower banks
+        store the top bits of the same codes
+        (:func:`repro.core.quantize_codes`) and answer searches at
+        coarse precision — the building block of a coarse tier — while
+        the index-level config (and the add/search validation alphabet)
+        stays put.  Distances merged from mixed-precision banks mix
+        scales by construction; pair with ``search(mode="tiered")`` or
+        rescore the shortlist yourself.
+
+        Either form is atomic (a config with no feasible cell encoding
+        raises without mutating anything), bumps the write generation —
+        invalidating every serving-layer cache entry — and flows
+        through the single-writer + pool-republish path when driven via
+        :meth:`repro.serve.FerexServer.reconfigure`, so it is safe
+        under live traffic.
+        """
+        self._check_writable()
+        config = BankConfig(
+            metric=self._config.metric if metric is None else metric,
+            bits=self.bits if bits is None else bits,
+        )
+        if banks is not None:
+            if not isinstance(self._backend, FerexBackend):
+                raise ValueError(
+                    "per-bank reconfigure needs the sharded ferex "
+                    f"backend, not {type(self._backend).__name__}"
+                )
+            self._backend.reconfigure_banks(config, list(banks))
+        else:
+            if self._backend_kind is None:
+                raise ValueError(
+                    "only index-constructed backends (a registry kind) "
+                    "can be reconfigured; this index wraps a "
+                    f"caller-supplied {type(self._backend).__name__} "
+                    "instance the index cannot rebuild"
+                )
+            if len(self._vectors) and int(
+                self._vectors.max()
+            ) >= config.n_values:
+                raise ValueError(
+                    f"stored codes exceed the {config.bits}-bit "
+                    "alphabet; reconfigure to a wider width, or quantise "
+                    "a subset via banks=[...]"
+                )
+            previous = self._config
+            self._config = config
+            try:
+                backend = self._make_backend(self._backend_kind)
+                if len(self._vectors):
+                    backend.add(self._vectors)
+                    dead = np.flatnonzero(~self._alive)
+                    if len(dead):
+                        backend.deactivate(dead)
+            except Exception:
+                self._config = previous
+                raise
+            self._backend = backend
+        self._shadow_tiered = None
+        self._shadow_key = None
+        self._note_mutation(
+            b"reconfigure",
+            json.dumps(
+                {
+                    "config": config.as_dict(),
+                    "banks": None if banks is None else sorted(
+                        int(b) for b in banks
+                    ),
+                },
+                sort_keys=True,
+            ).encode(),
+        )
+        return config
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, queries: np.ndarray, k: int = 1) -> SearchOutcome:
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        mode: str = "flat",
+        coarse_bits: Optional[int] = None,
+        refine_factor: Optional[int] = None,
+    ) -> SearchOutcome:
         """Batch k-nearest search: (n, dims) queries to a
         :class:`SearchOutcome` of (n, k) ids and distances.
 
+        ``mode="flat"`` (default) searches the configured backend at
+        full precision.  ``mode="tiered"`` runs the coarse-to-fine
+        path instead: a ``coarse_bits`` FeReX pass over all banks keeps
+        the top ``k * refine_factor`` candidates per query, which are
+        rescored with exact full-precision distances — typically
+        severalfold faster than flat search at high recall
+        (``benchmarks/bench_reconfig.py`` tracks the trade).  The two
+        knobs default to the backend's own settings when it is a
+        :class:`TieredBackend` (no shadow needed) and to
+        ``coarse_bits=1`` / ``refine_factor=8`` otherwise; passing a
+        value that differs from a tiered backend's configuration is
+        honored through a shadow tier rather than silently ignored.
+        Over a non-tiered backend the coarse tier is always a shadow
+        :class:`TieredBackend`, built lazily and re-synced (O(n)
+        re-program) after each mutation.
+
         When ``k`` exceeds the number of live (non-tombstoned) rows the
         trailing columns are padded with ``(-1, inf)`` — every backend
-        only ever competes the live set, so the padding is identical for
-        ferex, exact and gpu backends by construction and the output
-        shape is always ``(n, k)``.
+        only ever competes the live set, so the padding is identical
+        across backends by construction and the output shape is always
+        ``(n, k)``.
         """
+        if mode not in ("flat", "tiered"):
+            raise ValueError(
+                f"unknown search mode {mode!r}; known: 'flat', 'tiered'"
+            )
+        if mode == "flat" and not (
+            coarse_bits is None and refine_factor is None
+        ):
+            raise ValueError(
+                "coarse_bits/refine_factor only apply to mode='tiered'"
+            )
         if self.ntotal == 0:
             raise NotProgrammedError(
                 "add() must be called before search(): the index is empty"
@@ -405,7 +612,25 @@ class FerexIndex:
                 ids=np.empty((0, k), dtype=np.int64),
                 distances=np.empty((0, k)),
             )
-        positions, distances = self._backend.search(queries, k_eff)
+        backend = self._backend
+        if mode == "tiered":
+            if isinstance(backend, TieredBackend):
+                wanted = (
+                    backend.coarse_bits
+                    if coarse_bits is None
+                    else min(int(coarse_bits), self.bits),
+                    backend.refine_factor
+                    if refine_factor is None
+                    else int(refine_factor),
+                )
+                if wanted != (backend.coarse_bits, backend.refine_factor):
+                    backend = self._tiered_shadow(*wanted)
+            else:
+                backend = self._tiered_shadow(
+                    1 if coarse_bits is None else int(coarse_bits),
+                    8 if refine_factor is None else int(refine_factor),
+                )
+        positions, distances = backend.search(queries, k_eff)
         ids = self._ids[positions]
         if k_eff < k:
             pad = k - k_eff
@@ -416,6 +641,39 @@ class FerexIndex:
                 [distances, np.full((n, pad), np.inf)], axis=1
             )
         return SearchOutcome(ids=ids, distances=distances)
+
+    def _tiered_shadow(
+        self, coarse_bits: int, refine_factor: int
+    ) -> TieredBackend:
+        """The lazily-synced coarse tier behind ``search(mode="tiered")``
+        on a non-tiered backend.
+
+        One shadow is kept per (coarse_bits, refine_factor) request —
+        asking with different knobs rebuilds it — and re-synced from the
+        canonical store whenever the write generation moved.  The sync
+        re-programs the coarse banks (O(n), but at the cheap low-bit
+        cell), so steady-state read traffic pays nothing.
+        """
+        key = (int(coarse_bits), int(refine_factor))
+        if self._shadow_tiered is None or self._shadow_key != key:
+            self._shadow_tiered = TieredBackend(
+                self._config,
+                dims=self.dims,
+                bank_rows=self.bank_rows,
+                encoder=self.encoder,
+                seed=None,
+                coarse_bits=key[0],
+                refine_factor=key[1],
+            )
+            self._shadow_key = key
+            self._shadow_generation = None
+        if self._shadow_generation != self._write_generation:
+            self._shadow_tiered.rebuild(self._vectors)
+            dead = np.flatnonzero(~self._alive)
+            if len(dead):
+                self._shadow_tiered.deactivate(dead)
+            self._shadow_generation = self._write_generation
+        return self._shadow_tiered
 
     # ------------------------------------------------------------------
     # Persistence and state export
@@ -432,7 +690,7 @@ class FerexIndex:
         if self._backend_kind is None:
             raise ValueError(
                 "only index-constructed backends (backend='ferex'/'exact'/"
-                "'gpu') can be exported; this index wraps a "
+                "'gpu'/'tiered') can be exported; this index wraps a "
                 f"caller-supplied {type(self._backend).__name__} instance "
                 "whose configuration the index-level metadata cannot see"
             )
@@ -443,6 +701,8 @@ class FerexIndex:
             "bits": self.bits,
             "backend": self._backend_kind,
             "bank_rows": self.bank_rows,
+            "bank_configs": self._bank_config_records(),
+            "backend_options": self._backend_options,
             "encoder": self.encoder,
             "seed": self.seed,
             "next_id": self._next_id,
@@ -480,8 +740,9 @@ class FerexIndex:
         """Rebuild an index from :meth:`export_state` output.
 
         Vectors re-program through the identical deterministic write
-        path (same positions, same per-bank variation seeds), so search
-        results are bit-identical to the exporting index.
+        path (same positions, same per-bank variation seeds), and
+        persisted per-bank configs are re-applied, so search results
+        are bit-identical to the exporting index.
 
         With ``read_only=True`` the arrays are adopted *without
         copying* — pass views over ``multiprocessing.shared_memory``
@@ -504,6 +765,7 @@ class FerexIndex:
             bank_rows=meta["bank_rows"],
             encoder=meta["encoder"],
             seed=meta["seed"],
+            backend_options=meta.get("backend_options") or None,
         )
         adopt = np.asarray if read_only else np.array
         # Explicit int64 (not platform-int): exported state is int64,
@@ -523,6 +785,11 @@ class FerexIndex:
             dead = np.flatnonzero(~index._alive)
             if len(dead):
                 index._backend.deactivate(dead)
+        bank_configs = meta.get("bank_configs")
+        if bank_configs:
+            index._backend.apply_bank_configs(
+                [BankConfig.from_dict(record) for record in bank_configs]
+            )
         # State adoption replays as one bulk mutation: two rebuilds of
         # the same state report equal fingerprints and a fresh
         # (non-zero) write generation, so serving caches never bleed
@@ -542,9 +809,10 @@ class FerexIndex:
         Stored: every physically written vector (tombstones included, so
         bank layout — and with it each row's variation draw — survives),
         ids, liveness, and the full configuration (metric, bits,
-        encoding mode, bank geometry, variation seed).  Only backends
-        the index constructed itself (a registry kind: ferex/exact/gpu)
-        can be persisted — see :meth:`export_state`.
+        per-bank configs, encoding mode, bank geometry, variation
+        seed).  Only backends the index constructed itself (a registry
+        kind: ferex/exact/gpu/tiered) can be persisted — see
+        :meth:`export_state`.
         """
         meta, arrays = self.export_state()
         np.savez_compressed(

@@ -39,6 +39,7 @@ ARTIFACT_ORDER = [
     "batch_throughput",
     "index_scaling",
     "serving",
+    "reconfig",
 ]
 
 

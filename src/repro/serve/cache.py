@@ -83,6 +83,25 @@ class QueryCache:
         self.hits += 1
         return entry
 
+    def peek(
+        self, key: CacheKey
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        The server's *dispatch-time* probe uses this: a micro-batch row
+        may have been populated by a batch that completed after this
+        row's submit-time lookup missed, and serving it from the LRU
+        skips the executor (or worker-process) hop entirely.  Those
+        late hits are accounted separately
+        (:attr:`repro.serve.ServerStats.n_dispatch_cache_hits`), so the
+        cache's own counters keep meaning "submit-path lookups".
+        LRU recency still refreshes — a served entry is a used entry.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
     def put(
         self, key: CacheKey, ids: np.ndarray, distances: np.ndarray
     ) -> None:

@@ -129,6 +129,9 @@ class FerexServer:
         self._republish_error: Optional[BaseException] = None
         self.stats = ServerStats()
         self._cache = QueryCache(cache_size)
+        # The autoscaling signal: stats snapshots read the coalescer's
+        # pending-queue depth live through this probe.
+        self.stats.queue_depth_probe = lambda: self._coalescer.n_pending
         self._coalescer = RequestCoalescer(
             self._dispatch,
             max_batch_size=max_batch_size,
@@ -289,50 +292,104 @@ class FerexServer:
         """
         return await self._dispatch(queries, k, inline=True)
 
+    async def _run_search(
+        self, replica, queries: np.ndarray, k: int, inline: bool
+    ) -> SearchOutcome:
+        """Evaluate one (sub-)batch on the right substrate: a pool
+        worker process, inline on the loop (sparse singleton fast
+        path), or the default executor thread."""
+        if self._pool is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, self._pool.search, queries, k
+            )
+        if inline:
+            return replica.index.search(queries, k)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, replica.index.search, queries, k
+        )
+
     async def _dispatch(
         self, queries: np.ndarray, k: int, inline: bool = False
     ):
-        """Coalescer flush target: route the micro-batch to a replica
+        """Coalescer flush target: probe the LRU once more, dedupe the
+        remaining rows, route the shrunken micro-batch to a replica
         (a worker process when pooled), run the batched search
-        off-loop, populate the cache."""
+        off-loop, populate the cache.
+
+        The dispatch-time probe matters most on the pool path — a row
+        already populated by a batch that completed after this row's
+        submit-time miss would otherwise still pay the executor hop
+        *and* a worker round-trip — and intra-batch dedupe means a
+        burst of identical queries coalesced into one flush computes
+        once and fans out.
+        """
         replica = await self._router.acquire_read()
         try:
             # The generation is stable for the whole batch: writers are
             # excluded while any read holds the replica set.
             generation = replica.index.write_generation
-            if self._pool is not None:
-                if self._pool.generation != generation:
-                    # Guarded at construction and re-synced by every
-                    # server write (republish runs inside the
-                    # single-writer critical section; failure poisons
-                    # the pool) — this catches the remaining hole, an
-                    # out-of-band primary mutation mid-serve.  An epoch
-                    # mismatch must never serve: the cache would file
-                    # stale rows under the new generation.
-                    raise PoolBrokenError(
-                        f"pool serves generation "
-                        f"{self._pool.generation}, primary is at "
-                        f"{generation}; refusing stale reads"
-                    )
-                loop = asyncio.get_running_loop()
-                outcome = await loop.run_in_executor(
-                    None, self._pool.search, queries, k
+            pool = self._pool
+            if pool is not None and pool.generation != generation:
+                # Guarded at construction and re-synced by every server
+                # write (republish runs inside the single-writer
+                # critical section; failure poisons the pool) — this
+                # catches the remaining hole, an out-of-band primary
+                # mutation mid-serve.  An epoch mismatch must never
+                # serve: the cache would file stale rows under the new
+                # generation.
+                raise PoolBrokenError(
+                    f"pool serves generation {pool.generation}, "
+                    f"primary is at {generation}; refusing stale reads"
                 )
-            elif inline:
-                outcome = replica.index.search(queries, k)
-            else:
-                loop = asyncio.get_running_loop()
-                outcome = await loop.run_in_executor(
-                    None, replica.index.search, queries, k
-                )
-            if self._cache.capacity:
-                for row, query in enumerate(queries):
+            if not self._cache.capacity:
+                outcome = await self._run_search(replica, queries, k, inline)
+                return outcome.ids, outcome.distances
+            n = len(queries)
+            keys = [QueryCache.key(query, k, generation) for query in queries]
+            hits = {}
+            for row, key in enumerate(keys):
+                entry = self._cache.peek(key)
+                if entry is not None:
+                    hits[row] = entry
+            if hits:
+                self.stats.record_dispatch_hits(len(hits))
+            # Identical rows compute once: lead row per distinct key.
+            rows_by_key: dict = {}
+            for row in range(n):
+                if row not in hits:
+                    rows_by_key.setdefault(keys[row], []).append(row)
+            lead_rows = [rows[0] for rows in rows_by_key.values()]
+            deduped = (n - len(hits)) - len(lead_rows)
+            if deduped:
+                self.stats.record_dispatch_dedup(deduped)
+            if not hits and len(lead_rows) == n:
+                # The common cold-batch case: nothing to reassemble.
+                outcome = await self._run_search(replica, queries, k, inline)
+                for row, key in enumerate(keys):
                     self._cache.put(
-                        QueryCache.key(query, k, generation),
-                        outcome.ids[row],
-                        outcome.distances[row],
+                        key, outcome.ids[row], outcome.distances[row]
                     )
-            return outcome.ids, outcome.distances
+                return outcome.ids, outcome.distances
+            if lead_rows:
+                outcome = await self._run_search(
+                    replica, queries[np.asarray(lead_rows)], k, inline
+                )
+                for lead, key in enumerate(rows_by_key):
+                    self._cache.put(
+                        key, outcome.ids[lead], outcome.distances[lead]
+                    )
+            ids = np.empty((n, k), dtype=np.int64)
+            distances = np.empty((n, k), dtype=float)
+            for row, entry in hits.items():
+                ids[row] = entry[0]
+                distances[row] = entry[1]
+            for lead, rows in enumerate(rows_by_key.values()):
+                for row in rows:
+                    ids[row] = outcome.ids[lead]
+                    distances[row] = outcome.distances[lead]
+            return ids, distances
         finally:
             self._router.release_read(replica)
 
@@ -379,6 +436,8 @@ class FerexServer:
         self._republish_error = republish_error
         if republish_error is not None:
             self.stats.record_error()
+        else:
+            self.stats.record_republish()
         return result
 
     @property
@@ -418,6 +477,36 @@ class FerexServer:
             await self._write(lambda index: index.compact())
         finally:
             self._cache.clear()
+
+    async def reconfigure(
+        self,
+        bits: Optional[int] = None,
+        metric=None,
+        banks: Optional[Sequence[int]] = None,
+    ):
+        """Re-voltage every replica at a new (metric, bits) — online,
+        under live traffic.
+
+        Rides the same single-writer critical section as ``add``: reads
+        drain, each replica re-programs its banks from the retained
+        stored codes (:meth:`repro.index.FerexIndex.reconfigure`), the
+        process pool (when present) republishes the new-generation
+        segments, parity is re-verified, and only then are reads
+        re-admitted — so every request is answered either entirely at
+        the old config or entirely at the new one, never a mix.  The
+        generation bump makes all cached results unreachable; the
+        explicit cache clear just releases their memory at once.
+        """
+        try:
+            result = await self._write(
+                lambda index: index.reconfigure(
+                    bits=bits, metric=metric, banks=banks
+                )
+            )
+        finally:
+            self._cache.clear()
+        self.stats.record_reconfigure()
+        return result
 
     # ------------------------------------------------------------------
     # Lifecycle

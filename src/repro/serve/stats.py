@@ -47,6 +47,20 @@ class ServerStats:
         self.n_cache_hits = 0
         self.n_batches = 0
         self.n_errors = 0
+        #: Micro-batch rows answered from the LRU at *dispatch* time
+        #: (populated between this row's submit-time miss and its
+        #: batch's flush), skipping the executor/pool hop.
+        self.n_dispatch_cache_hits = 0
+        #: Duplicate rows inside one micro-batch folded into a single
+        #: backend computation.
+        self.n_dispatch_deduped = 0
+        #: Pool republishes completed by the write path.
+        self.n_republishes = 0
+        #: Online reconfigure operations served.
+        self.n_reconfigures = 0
+        #: Optional gauge probe returning the coalescer's pending-queue
+        #: depth — the autoscaling signal; the server wires it up.
+        self.queue_depth_probe: Optional[Callable[[], int]] = None
         self._started = self._clock()
 
     # ------------------------------------------------------------------
@@ -69,6 +83,22 @@ class ServerStats:
     def record_error(self) -> None:
         """One request that completed with an exception."""
         self.n_errors += 1
+
+    def record_dispatch_hits(self, n: int) -> None:
+        """``n`` batch rows served from the cache at dispatch time."""
+        self.n_dispatch_cache_hits += int(n)
+
+    def record_dispatch_dedup(self, n: int) -> None:
+        """``n`` duplicate batch rows folded into one computation."""
+        self.n_dispatch_deduped += int(n)
+
+    def record_republish(self) -> None:
+        """One successful process-pool republish."""
+        self.n_republishes += 1
+
+    def record_reconfigure(self) -> None:
+        """One completed online reconfigure."""
+        self.n_reconfigures += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -98,6 +128,14 @@ class ServerStats:
         )
         return dispatched / self.n_batches if self.n_batches else 0.0
 
+    @property
+    def coalescer_queue_depth(self) -> int:
+        """Pending (parked, undispatched) requests right now — the
+        queue-depth gauge worker autoscaling keys off (0 when no probe
+        is wired)."""
+        probe = self.queue_depth_probe
+        return int(probe()) if probe is not None else 0
+
     def snapshot(self) -> dict:
         """One JSON-ready view of every counter, histogram and summary."""
         return {
@@ -108,6 +146,11 @@ class ServerStats:
             "cache_hit_rate": self.cache_hit_rate,
             "n_batches": self.n_batches,
             "n_errors": self.n_errors,
+            "n_dispatch_cache_hits": self.n_dispatch_cache_hits,
+            "n_dispatch_deduped": self.n_dispatch_deduped,
+            "n_republishes": self.n_republishes,
+            "n_reconfigures": self.n_reconfigures,
+            "coalescer_queue_depth": self.coalescer_queue_depth,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {
                 str(size): count
@@ -124,6 +167,10 @@ class ServerStats:
         self.n_cache_hits = 0
         self.n_batches = 0
         self.n_errors = 0
+        self.n_dispatch_cache_hits = 0
+        self.n_dispatch_deduped = 0
+        self.n_republishes = 0
+        self.n_reconfigures = 0
         self._started = self._clock()
 
     def format(self) -> str:

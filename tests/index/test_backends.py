@@ -19,7 +19,7 @@ class TestProtocol:
         assert isinstance(FerexBackend("hamming", 2, 4), SearchBackend)
 
     def test_registry_names(self):
-        assert set(BACKENDS) == {"ferex", "exact", "gpu"}
+        assert set(BACKENDS) == {"ferex", "exact", "gpu", "tiered"}
         for name, cls in BACKENDS.items():
             assert cls.name == name
 
