@@ -36,6 +36,22 @@ results are bit-identical by construction:
   fast path: per-cell currents for the small bias alphabet are
   precomputed once (cached until the next write) and each query block
   is assembled by value-select, an order of magnitude faster again.
+
+Quantized integer kernel
+------------------------
+On ideal (unvaried, undrifted) arrays every search path above routes
+through one more level of compilation: the programmed state collapses
+to a small-integer *code* per cell and the bias alphabet to an integer
+(value, code) score LUT (:class:`repro.core.kernel.QuantizedKernel`,
+compiled once per write generation by
+:meth:`FeReXArray.quantized_kernel`), so the hot loop is a gather +
+exact blocked reduction instead of re-evaluated float device physics.
+Generic bias matrices are matched back onto the registered alphabet
+(:meth:`FeReXArray.set_search_alphabet`) so serial, batch and
+values-path searches all hit the same kernel and stay bit-identical.
+Varied / drifted arrays — the Monte Carlo setting — and foreign bias
+matrices keep the float physics path unchanged; ``kernel_enabled``
+switches the kernel off entirely (the benchmark baseline).
 """
 
 from __future__ import annotations
@@ -46,7 +62,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..circuits.lta import LoserTakeAll, LTADecision
-from ..devices.tech import TechConfig, DEFAULT_TECH, THERMAL_VOLTAGE
+from ..devices.cell import compile_current_lut, fast_cell_currents
+from ..devices.tech import TechConfig, DEFAULT_TECH
 from ..devices.variation import ArrayVariation, nominal_variation
 from .energy import EnergyBreakdown, EnergyModel
 from .parasitics import ArrayParasitics, extract
@@ -222,6 +239,14 @@ class FeReXArray:
         #: Bumped on every write so cached search tables invalidate.
         self.write_generation = 0
         self._bias_table_cache: Optional[tuple] = None
+        #: Master switch for the quantized integer kernel; ``False``
+        #: forces the float-physics path everywhere (the benchmark
+        #: baseline and an escape hatch).
+        self.kernel_enabled = True
+        #: Registered bias alphabet generic searches are matched onto.
+        self._alphabet: Optional[tuple] = None
+        self._kernel_cache: Optional[tuple] = None
+        self._ideal_variation: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Observable device state
@@ -453,28 +478,14 @@ class FeReXArray:
         if dl.size and (dl.min() < 0 or dl.max() > cell.max_vds_multiple):
             raise ValueError("DL multiple outside the selector's range")
 
-        fefet = self.tech.fefet
-        vds = dl * cell.vds_unit  # (n, cols)
-        vth = self.vth  # (rows, cols)
-        clamp = vds[:, None, :] / self._resistance[None, :, :]
-
-        overdrive = sl[:, None, :] - vth[None, :, :]
-        on = overdrive > 0
-
-        exponent = np.clip(
-            overdrive / (fefet.subthreshold_ideality * THERMAL_VOLTAGE),
-            -200.0,
-            0.0,
+        return fast_cell_currents(
+            sl[:, None, :],
+            dl[:, None, :],
+            self.vth[None, :, :],
+            self._resistance[None, :, :],
+            self.tech.fefet,
+            cell,
         )
-        leak = np.maximum(
-            fefet.i0_subthreshold * np.exp(exponent), fefet.i_off_floor
-        )
-        off_current = np.minimum(leak, clamp)
-
-        on_current = np.minimum(clamp, fefet.i_sat_max)
-        currents = np.where(on, on_current, off_current)
-        currents[np.broadcast_to((vds == 0.0)[:, None, :], currents.shape)] = 0.0
-        return currents
 
     def _cell_sums(self, currents: np.ndarray) -> np.ndarray:
         """(n, rows, cells) per-cell partial sums of (n, rows, cols)
@@ -524,7 +535,15 @@ class FeReXArray:
             raise ValueError(
                 f"expected {self.physical_cols} DL levels, got {dl.shape}"
             )
-        row_currents = self._row_currents_block(sl[None, :], dl[None, :])[0]
+        kernel_currents = self._generic_kernel_currents(
+            sl[None, :], dl[None, :]
+        )
+        if kernel_currents is not None:
+            row_currents = kernel_currents[0]
+        else:
+            row_currents = self._row_currents_block(
+                sl[None, :], dl[None, :]
+            )[0]
 
         active = self._validate_active_rows(active_rows)
         compete = self._masked_compete(row_currents[None, :], active)[0]
@@ -642,6 +661,176 @@ class FeReXArray:
                 currents.sum(axis=2) * self.variation.row_gain[None, :]
             )
         return row_currents
+
+    # ------------------------------------------------------------------
+    # Quantized integer kernel
+    # ------------------------------------------------------------------
+    def set_search_alphabet(
+        self, sl_values: np.ndarray, dl_values: np.ndarray
+    ) -> None:
+        """Register the bias alphabet generic searches are drawn from.
+
+        The mapping layer (:class:`repro.core.engine.FeReX`) calls this
+        with its per-value bias tables; generic :meth:`search` /
+        :meth:`search_batch` / :meth:`search_k_batch` calls then try to
+        match their bias matrices back onto the alphabet and route
+        through the quantized kernel, keeping them bit-identical to the
+        values fast path.  Unrelated bias matrices simply fail the match
+        and fall back to the float physics.
+        """
+        sl_values, dl_values = self._validate_batch_bias(
+            sl_values, dl_values
+        )
+        self._alphabet = (sl_values, dl_values)
+
+    def _variation_is_ideal(self) -> bool:
+        """True when every sampled device/comparator variation is
+        exactly nominal — the static half of the kernel's eligibility
+        gate (a shared per-symbol LUT cannot model per-device spread).
+        Cached: the variation object is fixed at construction."""
+        if self._ideal_variation is None:
+            v = self.variation
+            self._ideal_variation = bool(
+                not np.any(v.vth_offset)
+                and np.all(v.r_factor == 1.0)
+                and not np.any(v.lta_offset)
+                and np.all(v.row_gain == 1.0)
+            )
+        return self._ideal_variation
+
+    def _kernel_for(self, sl_values: np.ndarray, dl_values: np.ndarray):
+        """The compiled :class:`repro.core.kernel.QuantizedKernel` for a
+        bias alphabet, or ``None`` when the array is ineligible.
+
+        Memoised against the write generation exactly like the float
+        bias table; ineligible combinations memoise ``None`` so the
+        float path does not re-attempt compilation on every batch.
+        """
+        if not self.kernel_enabled:
+            return None
+        key = (
+            self.write_generation,
+            sl_values.tobytes(),
+            dl_values.tobytes(),
+        )
+        if self._kernel_cache is not None:
+            cached_key, kernel = self._kernel_cache
+            if cached_key == key:
+                return kernel
+        kernel = self._compile_kernel(sl_values, dl_values)
+        self._kernel_cache = (key, kernel)
+        return kernel
+
+    def _compile_kernel(self, sl_values: np.ndarray, dl_values: np.ndarray):
+        """Compile (codes, LUT) for one write generation; ``None`` when
+        ineligible (varied/drifted devices, a bias alphabet that is not
+        cell-uniform, or a geometry beyond the exact-integer bound).
+        """
+        if not self._variation_is_ideal() or np.any(self._disturb_drift):
+            return None
+        k = self.cell_fanout
+        n_values = sl_values.shape[0]
+        sl_cells = sl_values.reshape(n_values, self.cells, k)
+        dl_cells = dl_values.reshape(n_values, self.cells, k)
+        # A shared (value, symbol) LUT needs every cell to see the same
+        # per-value bias — the engine tiles one element alphabet across
+        # all cells, so this holds on every mapped configuration.
+        if self.cells > 1 and (
+            np.any(sl_cells != sl_cells[:, :1, :])
+            or np.any(dl_cells != dl_cells[:, :1, :])
+        ):
+            return None
+        # Deferred import: repro.core pulls in the engine, which imports
+        # this module back.
+        from ..core.kernel import (
+            KernelOverflowError,
+            LUTKernel,
+            QuantizedKernel,
+            select_quantum,
+        )
+
+        state = self.levels.reshape(self.rows * self.cells, k)
+        _, first, codes = np.unique(
+            state, axis=0, return_index=True, return_inverse=True
+        )
+        codes = codes.reshape(self.rows, self.cells)
+        vth_symbols = self._vth_nominal.reshape(
+            self.rows * self.cells, k
+        )[first]
+        raw = compile_current_lut(
+            sl_cells[:, 0, :], dl_cells[:, 0, :], vth_symbols, self.tech
+        )
+        try:
+            quantum = select_quantum(
+                float(np.abs(raw).max()) if raw.size else 0.0,
+                self.cells,
+                self.tech.cell.unit_current,
+            )
+            kernel = LUTKernel(
+                codes, np.rint(raw / quantum).astype(np.int64)
+            )
+        except KernelOverflowError:
+            return None
+        return QuantizedKernel(
+            kernel=kernel, quantum=quantum, raw_currents=raw
+        )
+
+    def quantized_kernel(self):
+        """The compiled kernel for the registered search alphabet, or
+        ``None`` when no alphabet is registered or the array is
+        ineligible (varied devices, kernel disabled, overflow)."""
+        if self._alphabet is None:
+            return None
+        return self._kernel_for(*self._alphabet)
+
+    def _match_value_index(
+        self,
+        sl_matrix: np.ndarray,
+        dl_matrix: np.ndarray,
+        sl_values: np.ndarray,
+        dl_values: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """(n, cells) alphabet row per query cell, or ``None`` when any
+        cell's bias is not an exact alphabet entry.
+
+        Only called once the alphabet compiled (hence is cell-uniform),
+        so each query cell is compared against the per-element alphabet
+        slice.  Exact float equality is intentional: conforming queries
+        are tiled from the very same tables, and anything else must take
+        the physics path.
+        """
+        n = sl_matrix.shape[0]
+        n_values = sl_values.shape[0]
+        k = self.cell_fanout
+        sl_q = sl_matrix.reshape(n, self.cells, k)
+        dl_q = dl_matrix.reshape(n, self.cells, k)
+        sl_a = sl_values.reshape(n_values, self.cells, k)[:, 0, :]
+        dl_a = dl_values.reshape(n_values, self.cells, k)[:, 0, :]
+        match = np.all(
+            sl_q[:, :, None, :] == sl_a[None, None, :, :], axis=3
+        ) & np.all(dl_q[:, :, None, :] == dl_a[None, None, :, :], axis=3)
+        if not match.any(axis=2).all():
+            return None
+        return match.argmax(axis=2)
+
+    def _generic_kernel_currents(
+        self, sl_matrix: np.ndarray, dl_matrix: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """(n, rows) kernel row currents for a generic bias matrix drawn
+        from the registered alphabet; ``None`` routes the caller to the
+        float physics path."""
+        if self._alphabet is None or not self.kernel_enabled:
+            return None
+        sl_values, dl_values = self._alphabet
+        kernel = self._kernel_for(sl_values, dl_values)
+        if kernel is None:
+            return None
+        value_index = self._match_value_index(
+            sl_matrix, dl_matrix, sl_values, dl_values
+        )
+        if value_index is None:
+            return None
+        return kernel.row_currents(value_index)
 
     def _validate_value_bias(
         self,
@@ -762,6 +951,34 @@ class FeReXArray:
             energy_per_query=energy,
         )
 
+    def _finish_search_k_batch_ranked(
+        self,
+        row_currents: np.ndarray,
+        dl_first: Optional[np.ndarray],
+        k: int,
+        active: Optional[np.ndarray] = None,
+    ) -> "BatchSearchKResult":
+        """Kernel-path equivalent of :meth:`_finish_search_k_batch`.
+
+        With every comparator offset zero — a kernel eligibility
+        condition — each LTA round is a stable argmin, and masking the
+        winner to ``+inf`` then re-deciding selects exactly the next
+        entry of the original stable order.  The ``k`` rounds therefore
+        collapse to the first ``k`` columns of one stable argsort,
+        bit-identical winners at a fraction of the cost.
+        """
+        compete = self._masked_compete(row_currents, active)
+        winners = np.argsort(compete, axis=1, kind="stable")[:, :k]
+        timing, energy = self._nominal_batch_accounting(
+            dl_first, row_currents
+        )
+        return BatchSearchKResult(
+            winners=winners.astype(int),
+            row_units=row_currents / self.tech.cell.unit_current,
+            timing_per_query=timing,
+            energy_per_query=energy,
+        )
+
     def _check_batch_k(
         self, k: int, active: Optional[np.ndarray]
     ) -> None:
@@ -811,7 +1028,11 @@ class FeReXArray:
             sl_matrix, dl_matrix
         )
         active = self._validate_active_rows(active_rows)
-        row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
+        row_currents = self._generic_kernel_currents(sl_matrix, dl_matrix)
+        if row_currents is None:
+            row_currents = self._batch_row_currents(
+                sl_matrix, dl_matrix, chunk
+            )
         dl_first = dl_matrix[0] if len(dl_matrix) else None
         return self._finish_search_batch(row_currents, dl_first, active)
 
@@ -851,14 +1072,48 @@ class FeReXArray:
             sl_values, dl_values, value_index
         )
         active = self._validate_active_rows(active_rows)
-        table = self._bias_current_table(sl_values, dl_values)
-        row_currents = self._row_currents_from_table(
-            table, value_index, chunk
-        )
+        kernel = self._kernel_for(sl_values, dl_values)
+        if kernel is not None:
+            row_currents = kernel.row_currents(value_index)
+        else:
+            table = self._bias_current_table(sl_values, dl_values)
+            row_currents = self._row_currents_from_table(
+                table, value_index, chunk
+            )
         return self._finish_search_batch(
             row_currents, self._first_query_dl(dl_values, value_index),
             active,
         )
+
+    def readout_batch_values(
+        self,
+        sl_values: np.ndarray,
+        dl_values: np.ndarray,
+        value_index: np.ndarray,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """(n_queries, rows) unit-current readings over the bias
+        alphabet — :meth:`search_batch_values` without the comparator.
+
+        The shortlist/coarse-tier primitive: a caller that ranks rows
+        itself (e.g. merging readouts across banks) only needs the
+        match-line currents, so the LTA decision and the per-query
+        timing/energy accounting of a full search would be pure
+        overhead.  The readings are exactly the ``row_units`` the full
+        search returns — same kernel, same float path.
+        """
+        sl_values, dl_values, value_index = self._validate_value_bias(
+            sl_values, dl_values, value_index
+        )
+        kernel = self._kernel_for(sl_values, dl_values)
+        if kernel is not None:
+            row_currents = kernel.row_currents(value_index)
+        else:
+            table = self._bias_current_table(sl_values, dl_values)
+            row_currents = self._row_currents_from_table(
+                table, value_index, chunk
+            )
+        return row_currents / self.tech.cell.unit_current
 
     def search_k(
         self,
@@ -900,6 +1155,12 @@ class FeReXArray:
         )
         active = self._validate_active_rows(active_rows)
         self._check_batch_k(k, active)
+        row_currents = self._generic_kernel_currents(sl_matrix, dl_matrix)
+        if row_currents is not None:
+            dl_first = dl_matrix[0] if len(dl_matrix) else None
+            return self._finish_search_k_batch_ranked(
+                row_currents, dl_first, k, active
+            )
         row_currents = self._batch_row_currents(sl_matrix, dl_matrix, chunk)
         dl_first = dl_matrix[0] if len(dl_matrix) else None
         return self._finish_search_k_batch(row_currents, dl_first, k, active)
@@ -924,6 +1185,12 @@ class FeReXArray:
         )
         active = self._validate_active_rows(active_rows)
         self._check_batch_k(k, active)
+        kernel = self._kernel_for(sl_values, dl_values)
+        if kernel is not None:
+            return self._finish_search_k_batch_ranked(
+                kernel.row_currents(value_index),
+                self._first_query_dl(dl_values, value_index), k, active,
+            )
         table = self._bias_current_table(sl_values, dl_values)
         row_currents = self._row_currents_from_table(
             table, value_index, chunk

@@ -48,50 +48,68 @@ from .feasibility import (
     iter_solutions,
     rows_compatible,
 )
+from .kernel import (
+    KernelOverflowError,
+    LUTKernel,
+    QuantizedKernel,
+    accumulator_bound,
+    select_accumulator,
+    select_quantum,
+)
+from .xp import ArrayModule, available_modules, get_array_module
 
 __all__ = [
-    "BankConfig",
-    "CSP",
-    "CellEncoding",
-    "CellSolution",
-    "ConfigurationError",
-    "Constraint",
-    "DistanceMatrix",
-    "DistanceMetric",
-    "EUCLIDEAN",
-    "EncodingError",
-    "EngineSearchResult",
-    "FeFETEncoding",
-    "FeReX",
-    "FeasibilityResult",
-    "HAMMING",
-    "MANHATTAN",
-    "NotProgrammedError",
-    "RowAssignment",
     "ac3",
+    "accumulator_bound",
+    "ArrayModule",
     "as_bank_config",
     "available_metrics",
+    "available_modules",
     "backtracking_search",
+    "BankConfig",
     "best_encoding",
+    "CellEncoding",
+    "CellSolution",
     "check_feasibility",
+    "ConfigurationError",
+    "Constraint",
     "constructive_cell",
+    "CSP",
     "decomposable",
     "decompose",
+    "DistanceMatrix",
+    "DistanceMetric",
     "encode_cell",
     "encode_fefet",
+    "EncodingError",
+    "EngineSearchResult",
     "enumerate_row_assignments",
+    "EUCLIDEAN",
     "euclidean_cell",
+    "FeasibilityResult",
+    "FeFETEncoding",
+    "FeReX",
     "find_min_cell",
+    "get_array_module",
     "get_metric",
+    "HAMMING",
     "hamming_cell",
     "has_constructive",
     "iter_solutions",
+    "KernelOverflowError",
+    "LUTKernel",
+    "MANHATTAN",
     "manhattan_cell",
     "min_fefets_for",
+    "NotProgrammedError",
     "off_count_search_levels",
     "quantize_codes",
+    "QuantizedKernel",
     "register_metric",
+    "RowAssignment",
     "rows_compatible",
+    "select_accumulator",
+    "select_quantum",
     "solve_all",
     "verify_encoding",
 ]

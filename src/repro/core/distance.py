@@ -124,8 +124,22 @@ class DistanceMetric:
         was already validated upstream (the index checked the queries,
         and candidates are gathered from its own add-validated store).
         """
-        queries = np.asarray(queries, dtype=np.int64)
-        candidates = np.asarray(candidates, dtype=np.int64)
+        queries = np.asarray(queries)
+        candidates = np.asarray(candidates)
+        if (
+            queries.dtype != candidates.dtype
+            or not np.issubdtype(queries.dtype, np.signedinteger)
+            # A squared per-element difference (the widest intermediate
+            # any closed form produces) must fit the narrow dtype.
+            or (1 << (2 * bits)) > np.iinfo(queries.dtype).max
+        ):
+            # Narrow matching signed dtypes pass through untouched (the
+            # tiered rescore gathers int16 blocks; widening them costs
+            # more than the arithmetic), everything else goes to int64.
+            # Sums still accumulate in int64 — numpy promotes integer
+            # reductions to the platform int.
+            queries = queries.astype(np.int64, copy=False)
+            candidates = candidates.astype(np.int64, copy=False)
         if queries.ndim != 2 or candidates.ndim != 3:
             raise ValueError(
                 "expected (n, dims) queries and (n, C, dims) candidates"

@@ -307,13 +307,20 @@ class FeReX:
                     self.tech.variation, seed=self._seed
                 )
                 variation = sampler.sample_array(rows, self.physical_cols)
-        return FeReXArray(
+        array = FeReXArray(
             rows=rows,
             physical_cols=self.physical_cols,
             tech=self.tech,
             variation=variation,
             cell_fanout=self.encoding.k,
         )
+        # Register the engine's bias alphabet so every search variant
+        # (generic or values) can route through the quantized integer
+        # kernel when the array is eligible.
+        array.set_search_alphabet(
+            self._sl_value_table, self._dl_value_table
+        )
+        return array
 
     def program(self, vectors: np.ndarray) -> None:
         """Write the stored vectors into a freshly built crossbar.
@@ -382,6 +389,17 @@ class FeReX:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    def quantized_kernel(self):
+        """The array's compiled integer search kernel
+        (:class:`repro.core.kernel.QuantizedKernel`), or ``None`` before
+        programming / when the array is ineligible (sampled variation,
+        ``kernel_enabled = False``, geometry beyond the exact-integer
+        bound).  Introspection only — every ``search*`` variant routes
+        through it automatically when it is available."""
+        if self.array is None:
+            return None
+        return self.array.quantized_kernel()
+
     def _query_bias(self, query: Sequence[int]):
         query = np.asarray(query, dtype=int)
         if query.shape != (self.dims,):
@@ -440,6 +458,22 @@ class FeReX:
         return self.array.search_batch_values(
             self._sl_value_table, self._dl_value_table, queries,
             active_rows=active_rows,
+        )
+
+    def readout_batch(self, queries: np.ndarray) -> np.ndarray:
+        """(n, rows) hardware distance readings without an LTA decision.
+
+        The coarse-tier/shortlist primitive: bit-identical to
+        ``search_batch(queries).row_units`` (same kernel or float
+        physics path) but skips the comparator and the per-query
+        timing/energy accounting — callers that merge and rank readouts
+        across banks pay only for the array evaluation.
+        """
+        if self.array is None:
+            raise NotProgrammedError(_NOT_PROGRAMMED)
+        queries = self._validate_query_batch(queries)
+        return self.array.readout_batch_values(
+            self._sl_value_table, self._dl_value_table, queries
         )
 
     def search_k_batch(

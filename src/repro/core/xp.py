@@ -1,0 +1,146 @@
+"""Optional array-module adapter for the quantized kernel.
+
+The kernel's dgemm runs on any IEEE-754 float64 backend and — because
+its operands are exactly-representable integers within the overflow
+bound (see :mod:`repro.core.kernel`) — returns bit-identical scores on
+all of them.  This module provides the thin facade that lets
+:class:`repro.index.backends.GPUBackend` execute it on cupy or torch
+when present, degrading gracefully to numpy when neither imports.
+
+Only three operations are needed (``asarray`` / ``matmul`` /
+``to_numpy``); everything else — validation, masking, ranking, merging
+— stays in numpy, where stable-sort semantics are guaranteed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+
+class ArrayModule:
+    """Uniform facade over an array backend (numpy / cupy / torch)."""
+
+    #: Backend name ("numpy", "cupy", "torch").
+    name: str
+
+    def asarray(self, array: np.ndarray):
+        """Move a float64 numpy array onto the backend."""
+        raise NotImplementedError
+
+    def matmul(self, a, b):
+        """Backend matmul of two backend arrays."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Bring a backend array back as float64 numpy."""
+        raise NotImplementedError
+
+
+class _NumpyModule(ArrayModule):
+    name = "numpy"
+
+    def asarray(self, array):
+        return np.asarray(array, dtype=np.float64)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def to_numpy(self, array):
+        return np.asarray(array, dtype=np.float64)
+
+
+class _CupyModule(ArrayModule):
+    name = "cupy"
+
+    def __init__(self):
+        import cupy
+
+        self._cupy = cupy
+
+    def asarray(self, array):
+        return self._cupy.asarray(array, dtype=self._cupy.float64)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def to_numpy(self, array):
+        return self._cupy.asnumpy(array).astype(np.float64, copy=False)
+
+
+class _TorchModule(ArrayModule):
+    name = "torch"
+
+    def __init__(self):
+        import torch
+
+        self._torch = torch
+
+    def asarray(self, array):
+        return self._torch.as_tensor(
+            np.ascontiguousarray(array), dtype=self._torch.float64
+        )
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def to_numpy(self, array):
+        return array.cpu().numpy().astype(np.float64, copy=False)
+
+
+_FACTORIES = {
+    "numpy": _NumpyModule,
+    "cupy": _CupyModule,
+    "torch": _TorchModule,
+}
+
+#: Default resolution order: the fastest available backend wins, numpy
+#: is the always-present floor.
+DEFAULT_PREFERENCE = ("cupy", "torch", "numpy")
+
+
+def available_modules() -> tuple:
+    """Names of the backends that import on this machine."""
+    found = []
+    for name in DEFAULT_PREFERENCE:
+        try:
+            _FACTORIES[name]()
+        except ImportError:
+            continue
+        found.append(name)
+    return tuple(found)
+
+
+def get_array_module(
+    prefer: Union[str, Sequence[str], None] = None,
+) -> ArrayModule:
+    """The first backend in ``prefer`` that imports.
+
+    ``prefer`` is a name or an ordered sequence of names (default
+    :data:`DEFAULT_PREFERENCE`).  Missing optional dependencies are
+    skipped — never raised — and numpy is appended as the fallback, so
+    the call always succeeds on a bare-numpy install.  Unknown names
+    raise ``ValueError`` (a typo should not silently mean numpy).
+    """
+    if prefer is None:
+        order = DEFAULT_PREFERENCE
+    elif isinstance(prefer, str):
+        order = (prefer,)
+    else:
+        order = tuple(prefer)
+    unknown = [name for name in order if name not in _FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown array module(s) {unknown}; known: "
+            f"{sorted(_FACTORIES)}"
+        )
+    if "numpy" not in order:
+        order = order + ("numpy",)
+    last_error: Optional[ImportError] = None
+    for name in order:
+        try:
+            return _FACTORIES[name]()
+        except ImportError as err:
+            last_error = err
+    raise last_error  # unreachable: numpy always imports

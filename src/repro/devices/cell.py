@@ -18,14 +18,96 @@ Two evaluation paths are provided:
 
 The agreement of the two paths is itself a regression test
 (``tests/devices/test_cell.py``).
+
+At array scale the same closed form is evaluated vectorised by
+:func:`fast_cell_currents` — the one physics expression behind both the
+crossbar's blocked float search kernel
+(:meth:`repro.arch.crossbar.FeReXArray.cell_currents_block`) and the
+quantized-kernel LUT compiler (:func:`compile_current_lut`), which is
+what keeps the two numerically interchangeable.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from .fefet import drain_current
-from .tech import CellParams, FeFETParams
+from .tech import CellParams, FeFETParams, TechConfig, THERMAL_VOLTAGE
+
+
+def fast_cell_currents(
+    sl_voltages: np.ndarray,
+    dl_multiples: np.ndarray,
+    vth: np.ndarray,
+    resistance: "np.ndarray | float",
+    fefet: FeFETParams,
+    cell: CellParams,
+) -> np.ndarray:
+    """Vectorised closed-form 1FeFET1R currents (broadcastable args).
+
+    The array-scale fast path: ON cells clamp to ``Vds / R`` (capped at
+    the saturation current), OFF cells leak the subthreshold current
+    capped by the clamp, zero-``Vds`` cells conduct nothing.  All
+    arguments broadcast against each other, and the arithmetic is
+    elementwise — evaluating the same operands in any block shape gives
+    bit-identical currents, which is what the crossbar's serial, batch
+    and LUT-compilation callers rely on.
+    """
+    vds = np.asarray(dl_multiples) * cell.vds_unit
+    clamp = vds / resistance
+    overdrive = np.asarray(sl_voltages, dtype=float) - vth
+    on = overdrive > 0
+    exponent = np.clip(
+        overdrive / (fefet.subthreshold_ideality * THERMAL_VOLTAGE),
+        -200.0,
+        0.0,
+    )
+    leak = np.maximum(
+        fefet.i0_subthreshold * np.exp(exponent), fefet.i_off_floor
+    )
+    currents = np.where(
+        on,
+        np.minimum(clamp, fefet.i_sat_max),
+        np.minimum(leak, clamp),
+    )
+    return np.where(vds == 0.0, 0.0, currents)
+
+
+def compile_current_lut(
+    sl_alphabet: np.ndarray,
+    dl_alphabet: np.ndarray,
+    vth_symbols: np.ndarray,
+    tech: TechConfig,
+) -> np.ndarray:
+    """(n_values, n_symbols) per-cell current sums for a bias alphabet.
+
+    The compile half of the quantized search kernel: entry ``[v, s]``
+    is the total current a cell programmed to threshold tuple
+    ``vth_symbols[s]`` conducts under query value ``v``'s bias
+    (``sl_alphabet[v]`` / ``dl_alphabet[v]``), with the cell's fan-out
+    slots reduced exactly as the crossbar's within-cell tree does.
+    Nominal (ideal) devices only — the kernel's eligibility gate; the
+    varied/Monte-Carlo path keeps the full float physics.
+
+    Parameters
+    ----------
+    sl_alphabet / dl_alphabet:
+        (n_values, fanout) per-slot search voltages and drain levels.
+    vth_symbols:
+        (n_symbols, fanout) per-slot threshold voltages of each distinct
+        programmed cell state.
+    """
+    currents = fast_cell_currents(
+        np.asarray(sl_alphabet, dtype=float)[:, None, :],
+        np.asarray(dl_alphabet)[:, None, :],
+        np.asarray(vth_symbols, dtype=float)[None, :, :],
+        tech.cell.resistance,
+        tech.fefet,
+        tech.cell,
+    )
+    return currents.sum(axis=2)
 
 
 class OneFeFETOneR:

@@ -24,10 +24,12 @@ implementations ship:
 * :class:`ExactBackend` — the exact software reference
   (:meth:`DistanceMetric.pairwise`), the baseline hardware winners are
   validated against.
-* :class:`GPUBackend` — exact winners plus a roofline latency/energy
-  estimate of the equivalent GPU kernel
-  (:class:`repro.eval.gpu_model.GPUCostModel`), for paper-style
-  FeReX-vs-GPU comparisons on real query streams.
+* :class:`GPUBackend` — a real compute backend: the quantized kernel's
+  gather + reduce over a per-element metric LUT, executed on cupy or
+  torch when installed (numpy otherwise) via :mod:`repro.core.xp`,
+  with the roofline latency/energy estimate
+  (:class:`repro.eval.gpu_model.GPUCostModel`) priced per search; pass
+  ``estimate_only=True`` for the estimator-only legacy mode.
 * :class:`TieredBackend` — coarse-to-fine search: a cheap low-bit
   :class:`FerexBackend` pass over all banks nominates the top
   ``refine_factor * k`` candidates, which are rescored at full
@@ -69,6 +71,8 @@ import numpy as np
 from ..core.config import BankConfig, as_bank_config, quantize_codes
 from ..core.distance import DistanceMetric
 from ..core.engine import FeReX
+from ..core.kernel import KernelOverflowError, LUTKernel
+from ..core.xp import get_array_module
 from ..devices.variation import ArrayVariation, VariationSampler
 
 
@@ -162,12 +166,30 @@ class ExactBackend:
 
 
 class GPUBackend(ExactBackend):
-    """Exact winners plus a GPU roofline cost estimate per search.
+    """GPU-style distance search: the quantized kernel's gather+reduce
+    executed on an optional accelerator array module, plus a roofline
+    cost estimate per search.
 
-    Winners and distances are those of :class:`ExactBackend`; every
-    ``search`` additionally prices the equivalent batched GPU distance
-    kernel on the configured :class:`repro.eval.gpu_model.GPUSpec` and
-    stores it as :attr:`last_estimate`, so serving experiments read
+    Two modes:
+
+    * **real compute** (default): the live stored codes compile into a
+      :class:`repro.core.kernel.LUTKernel` whose LUT is the metric's
+      per-element distance table, and every ``search`` runs the same
+      exact integer reduction the crossbar kernel uses — through
+      :func:`repro.core.get_array_module`, i.e. on cupy or torch when
+      one is installed and on numpy otherwise.  A missing optional
+      dependency is never an error: the adapter degrades to numpy
+      silently (``backend.xp.name`` says which module serves).  Winners
+      and distances are bit-identical to :class:`ExactBackend` — the
+      arithmetic is exact on every IEEE-754 backend and the final
+      ranking is numpy's stable argsort either way.
+    * **estimate only** (``estimate_only=True``): no kernel and no
+      array module; winners come from :class:`ExactBackend`'s pairwise
+      reference, preserving the original roofline-estimator behaviour.
+
+    Both modes price the equivalent batched GPU distance kernel on the
+    configured :class:`repro.eval.gpu_model.GPUSpec` after every search
+    and store it as :attr:`last_estimate`, so serving experiments read
     paper-style latency/energy baselines off the same query stream.
     """
 
@@ -180,6 +202,8 @@ class GPUBackend(ExactBackend):
         dims: Optional[int] = None,
         spec=None,
         batch_size: int = 256,
+        estimate_only: bool = False,
+        prefer=None,
     ):
         super().__init__(metric, bits, dims)
         # Imported lazily: repro.eval.__init__ pulls in the application
@@ -189,14 +213,77 @@ class GPUBackend(ExactBackend):
 
         self.cost_model = GPUCostModel(spec or GPUSpec())
         self.batch_size = batch_size
+        #: ``True`` restricts the backend to the roofline estimator.
+        self.estimate_only = estimate_only
+        #: The array module real-compute searches execute on (None in
+        #: estimate-only mode).  ``prefer`` narrows the resolution
+        #: order, e.g. ``prefer="torch"`` or ``prefer=("cupy",)``.
+        self.xp = None if estimate_only else get_array_module(prefer)
         #: Roofline estimate of the most recent search (None before the
         #: first one).
         self.last_estimate = None
+        # (live positions, LUTKernel) cache; any mutation invalidates.
+        self._kernel: Optional[tuple] = None
+
+    def add(self, vectors: np.ndarray) -> None:
+        super().add(vectors)
+        self._kernel = None
+
+    def deactivate(self, positions: np.ndarray) -> None:
+        super().deactivate(positions)
+        self._kernel = None
+
+    def rebuild(self, vectors: np.ndarray) -> None:
+        super().rebuild(vectors)
+        self._kernel = None
+
+    def _element_lut(self) -> np.ndarray:
+        """(n_values, n_values) per-element metric distance table — the
+        GPU kernel's LUT (stored codes are their own symbol indices)."""
+        n_values = self.config.n_values
+        return np.array(
+            [
+                [
+                    self.metric.element(q, s, self.bits)
+                    for s in range(n_values)
+                ]
+                for q in range(n_values)
+            ],
+            dtype=np.int64,
+        )
+
+    def _live_kernel(self) -> tuple:
+        """(live positions, kernel) for the current live set, rebuilt
+        only after a mutation.  ``kernel`` is ``None`` when the
+        geometry exceeds the exact-integer bound — the search then
+        falls back to the pairwise reference."""
+        if self._kernel is None:
+            live = np.flatnonzero(self._alive)
+            try:
+                kernel = LUTKernel(
+                    self._vectors[live], self._element_lut()
+                )
+            except KernelOverflowError:
+                kernel = None
+            self._kernel = (live, kernel)
+        return self._kernel
 
     def search(
         self, queries: np.ndarray, k: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        positions, distances = super().search(queries, k)
+        if self.estimate_only:
+            positions, distances = super().search(queries, k)
+        else:
+            live, kernel = self._live_kernel()
+            if kernel is None:
+                positions, distances = super().search(queries, k)
+            else:
+                table = kernel.scores_with(
+                    self.xp, np.asarray(queries, dtype=np.int64)
+                )
+                order = np.argsort(table, axis=1, kind="stable")[:, :k]
+                positions = live[order]
+                distances = np.take_along_axis(table, order, axis=1)
         # XOR + popcount for Hamming, subtract/abs-or-square/accumulate
         # for the L1/L2 family.
         flops = 2.0 if self.metric.name == "hamming" else 3.0
@@ -570,13 +657,14 @@ class FerexBackend:
             active = bank.active_rows()
             if not active.any():
                 continue
-            result = bank.engine.search_batch(
-                quantize_codes(
-                    queries, self.config.bits, bank.config.bits
+            readout = np.array(
+                bank.engine.readout_batch(
+                    quantize_codes(
+                        queries, self.config.bits, bank.config.bits
+                    )
                 ),
-                active_rows=active,
+                dtype=float,
             )
-            readout = np.array(result.row_units, dtype=float)
             readout[:, ~active] = np.inf
             units.append(readout)
             positions.append(
@@ -585,10 +673,39 @@ class FerexBackend:
         all_units = np.concatenate(units, axis=1)
         all_positions = np.concatenate(positions)
         # Columns are globally position-ascending (banks in order, rows
-        # in order), so a stable argsort tie-breaks on position —
-        # matching the lexsort merge and the exact backend.
-        order = np.argsort(all_units, axis=1, kind="stable")[:, :c]
-        return all_positions[order]
+        # in order), so the (value, column)-stable partial selection
+        # tie-breaks on position — matching the lexsort merge and the
+        # exact backend.
+        return all_positions[_top_c_stable(all_units, c)]
+
+
+def _top_c_stable(units: np.ndarray, c: int) -> np.ndarray:
+    """Per-row column indices of the ``c`` smallest entries in
+    (value, column) order — exactly the first ``c`` columns of
+    ``argsort(kind="stable")`` without sorting whole rows.
+
+    An ``argpartition`` alone breaks value ties arbitrarily, which
+    would let the shortlist diverge from the LTA's stable emission
+    order on equal currents; the boundary fix below keeps every column
+    strictly inside the c-th value plus the *lowest-column* ties at it,
+    then orders the surviving ``c`` entries with one small stable sort.
+    """
+    n, m = units.shape
+    if c >= m:
+        return np.argsort(units, axis=1, kind="stable")[:, :c]
+    boundary = np.partition(units, c - 1, axis=1)[:, c - 1 : c]
+    strict = units < boundary
+    at_boundary = units == boundary
+    quota = c - strict.sum(axis=1, keepdims=True)
+    # int32 accumulator: cumsum on a bool block otherwise promotes to
+    # int64 and the widening dominates the whole selection.
+    tie_rank = np.cumsum(at_boundary, axis=1, dtype=np.int32)
+    keep = strict | (at_boundary & (tie_rank <= quota))
+    idx = np.nonzero(keep)[1].reshape(n, c)  # column-ascending per row
+    order = np.argsort(
+        np.take_along_axis(units, idx, axis=1), axis=1, kind="stable"
+    )
+    return np.take_along_axis(idx, order, axis=1)
 
 
 class TieredBackend:
@@ -649,7 +766,10 @@ class TieredBackend:
             encoder=encoder,
             seed=None,
         )
-        self._vectors = np.empty((0, dims), dtype=int)
+        #: Rescore store in int16: values are code levels (< 2**bits),
+        #: and the narrow gather + narrow metric arithmetic is what the
+        #: rescore hot path spends most of its time on.
+        self._vectors = np.empty((0, dims), dtype=np.int16)
         self._alive = np.empty(0, dtype=bool)
 
     @property
@@ -661,7 +781,9 @@ class TieredBackend:
 
     def add(self, vectors: np.ndarray) -> None:
         self.coarse.add(self._quantize(vectors))
-        self._vectors = np.concatenate([self._vectors, vectors])
+        self._vectors = np.concatenate(
+            [self._vectors, np.asarray(vectors, dtype=np.int16)]
+        )
         self._alive = np.concatenate(
             [self._alive, np.ones(len(vectors), dtype=bool)]
         )
@@ -673,7 +795,7 @@ class TieredBackend:
     def rebuild(self, vectors: np.ndarray) -> None:
         vectors = np.asarray(vectors, dtype=int)
         self.coarse.rebuild(self._quantize(vectors))
-        self._vectors = np.array(vectors, dtype=int)
+        self._vectors = np.array(vectors, dtype=np.int16)
         self._alive = np.ones(len(vectors), dtype=bool)
 
     def search(
@@ -688,7 +810,7 @@ class TieredBackend:
         # candidates come from its own add-validated store — the range
         # scans would be pure overhead on the rescore hot path.
         rescored = self.config.resolved.rowwise(
-            queries,
+            np.asarray(queries, dtype=np.int16),
             self._vectors[candidates],
             self.config.bits,
             validate=False,

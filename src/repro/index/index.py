@@ -184,11 +184,17 @@ class FerexIndex:
         #: refused — writes go to the publisher, which republishes.
         self._read_only = False
         # Lazily-built shadow for search(mode="tiered") over a
-        # non-tiered primary backend; invalidated by write generation
-        # and dropped wholesale on reconfigure.
+        # non-tiered primary backend; synced incrementally on write
+        # generation bumps (appends and tombstones only touch dirty
+        # banks) and dropped wholesale on reconfigure.  ``synced_rows``
+        # counts canonical rows already in the shadow; ``shadow_alive``
+        # snapshots the alive mask at the last sync so only newly-dead
+        # positions are re-deactivated.
         self._shadow_tiered: Optional[TieredBackend] = None
         self._shadow_key: Optional[tuple] = None
         self._shadow_generation: Optional[int] = None
+        self._shadow_synced_rows = 0
+        self._shadow_alive = np.empty(0, dtype=bool)
 
     def _make_backend(
         self, backend: Union[str, SearchBackend]
@@ -455,6 +461,11 @@ class FerexIndex:
             int(id_): pos for pos, id_ in enumerate(self._ids)
         }
         self._backend.rebuild(self._vectors)
+        # Positions were reassigned, so the shadow's positional
+        # alignment is gone: force its next sync down the full-rebuild
+        # path instead of the incremental delta.
+        self._shadow_synced_rows = 0
+        self._shadow_alive = np.empty(0, dtype=bool)
         self._note_mutation(b"compact")
 
     # ------------------------------------------------------------------
@@ -649,10 +660,15 @@ class FerexIndex:
         on a non-tiered backend.
 
         One shadow is kept per (coarse_bits, refine_factor) request —
-        asking with different knobs rebuilds it — and re-synced from the
-        canonical store whenever the write generation moved.  The sync
-        re-programs the coarse banks (O(n), but at the cheap low-bit
-        cell), so steady-state read traffic pays nothing.
+        asking with different knobs rebuilds it — and synced from the
+        canonical store whenever the write generation moved.  The store
+        is append-only between compactions, so the sync is incremental:
+        new rows go in through the coarse tier's row-level write path
+        (dirty banks only — untouched banks keep their arrays, write
+        generations and compiled kernels) and only positions that died
+        since the last sync are re-tombstoned.  A :meth:`compact`
+        reassigns positions and forces the next sync down the full
+        re-program path.
         """
         key = (int(coarse_bits), int(refine_factor))
         if self._shadow_tiered is None or self._shadow_key != key:
@@ -667,11 +683,30 @@ class FerexIndex:
             )
             self._shadow_key = key
             self._shadow_generation = None
+            self._shadow_synced_rows = 0
+            self._shadow_alive = np.empty(0, dtype=bool)
         if self._shadow_generation != self._write_generation:
-            self._shadow_tiered.rebuild(self._vectors)
-            dead = np.flatnonzero(~self._alive)
-            if len(dead):
-                self._shadow_tiered.deactivate(dead)
+            synced = self._shadow_synced_rows
+            n = len(self._vectors)
+            if synced == 0 or n < synced:
+                # Fresh shadow, or a compact shrank the store: positions
+                # moved, re-program everything.
+                self._shadow_tiered.rebuild(self._vectors)
+                dead = np.flatnonzero(~self._alive)
+                if len(dead):
+                    self._shadow_tiered.deactivate(dead)
+            else:
+                if n > synced:
+                    self._shadow_tiered.add(self._vectors[synced:])
+                newly_dead = np.flatnonzero(
+                    self._shadow_alive & ~self._alive[:synced]
+                )
+                tail_dead = synced + np.flatnonzero(~self._alive[synced:])
+                dead = np.concatenate([newly_dead, tail_dead])
+                if len(dead):
+                    self._shadow_tiered.deactivate(dead)
+            self._shadow_alive = self._alive.copy()
+            self._shadow_synced_rows = n
             self._shadow_generation = self._write_generation
         return self._shadow_tiered
 

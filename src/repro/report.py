@@ -36,6 +36,7 @@ ARTIFACT_ORDER = [
     "ext_area",
     "ext_write_path",
     "ext_saturating",
+    "kernel",
     "batch_throughput",
     "index_scaling",
     "serving",

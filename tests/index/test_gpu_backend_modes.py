@@ -1,0 +1,122 @@
+"""GPUBackend modes: real kernel compute vs roofline-only estimation.
+
+The backend's contract after the kernel refactor: by default ``search``
+executes the quantized kernel's gather + reduce on the best available
+array module (numpy when no accelerator is installed — never an
+ImportError), bit-identical to the exact reference;
+``estimate_only=True`` restores the original estimator-only behaviour.
+Both modes price every search on the GPU cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.xp import available_modules
+from repro.index.backends import ExactBackend, GPUBackend
+
+CONFIGS = [("hamming", 1), ("manhattan", 2), ("euclidean", 3)]
+
+
+def _populated(backend_cls, metric, bits, rng, **kwargs):
+    backend = backend_cls(metric, bits, dims=24, **kwargs)
+    backend.add(rng.integers(0, 1 << bits, size=(120, 24)))
+    backend.deactivate(rng.choice(120, 25, replace=False))
+    return backend
+
+
+@pytest.mark.parametrize("metric,bits", CONFIGS)
+class TestRealComputeMode:
+    def test_matches_exact_backend_bitwise(self, metric, bits, rng):
+        exact = _populated(ExactBackend, metric, bits, rng)
+        gpu = _populated(
+            GPUBackend, metric, bits, np.random.default_rng(12345)
+        )
+        queries = rng.integers(0, 1 << bits, size=(30, 24))
+        pe, de = exact.search(queries, 5)
+        pg, dg = gpu.search(queries, 5)
+        assert np.array_equal(pe, pg)
+        assert np.array_equal(de, dg)
+
+    def test_estimate_only_matches_real_compute(self, metric, bits, rng):
+        real = _populated(GPUBackend, metric, bits, rng)
+        est = _populated(
+            GPUBackend,
+            metric,
+            bits,
+            np.random.default_rng(12345),
+            estimate_only=True,
+        )
+        queries = rng.integers(0, 1 << bits, size=(20, 24))
+        pr, dr = real.search(queries, 4)
+        pe, de = est.search(queries, 4)
+        assert np.array_equal(pr, pe)
+        assert np.array_equal(dr, de)
+
+    def test_mutations_invalidate_the_kernel(self, metric, bits, rng):
+        gpu = _populated(GPUBackend, metric, bits, rng)
+        queries = rng.integers(0, 1 << bits, size=(8, 24))
+        gpu.search(queries, 3)  # compile
+        extra = rng.integers(0, 1 << bits, size=(7, 24))
+        gpu.add(extra)
+        gpu.deactivate(np.array([0]))
+        exact = ExactBackend(metric, bits, dims=24)
+        exact._vectors = gpu._vectors.copy()
+        exact._alive = gpu._alive.copy()
+        pg, dg = gpu.search(queries, 3)
+        pe, de = exact.search(queries, 3)
+        assert np.array_equal(pg, pe)
+        assert np.array_equal(dg, de)
+
+
+class TestModeWiring:
+    def test_real_mode_resolves_an_array_module(self):
+        gpu = GPUBackend("hamming", 1, dims=8)
+        assert gpu.xp is not None
+        assert gpu.xp.name in ("numpy", "cupy", "torch")
+
+    def test_estimate_only_skips_the_array_module(self):
+        gpu = GPUBackend("hamming", 1, dims=8, estimate_only=True)
+        assert gpu.estimate_only
+        assert gpu.xp is None
+
+    def test_missing_accelerators_fall_back_to_numpy(self):
+        # Asking for accelerators explicitly must degrade, not raise,
+        # when neither imports (the CI numpy-only leg).
+        gpu = GPUBackend("hamming", 1, dims=8, prefer=("cupy", "torch"))
+        if available_modules() == ("numpy",):
+            assert gpu.xp.name == "numpy"
+        else:
+            assert gpu.xp.name in ("cupy", "torch")
+
+    def test_both_modes_price_every_search(self, rng):
+        queries = rng.integers(0, 2, size=(5, 8))
+        for kwargs in ({}, {"estimate_only": True}):
+            gpu = GPUBackend("hamming", 1, dims=8, **kwargs)
+            gpu.add(rng.integers(0, 2, size=(10, 8)))
+            assert gpu.last_estimate is None
+            gpu.search(queries, 2)
+            assert gpu.last_estimate is not None
+            assert gpu.last_estimate.time > 0
+
+
+class TestTorchLeg:
+    def test_torch_adapter_is_bit_identical(self, rng):
+        """Runs only where torch is installed (the CI optional-deps
+        matrix leg); numpy-only environments skip."""
+        pytest.importorskip("torch")
+        gpu_torch = _populated(
+            GPUBackend, "euclidean", 2, rng, prefer="torch"
+        )
+        gpu_numpy = _populated(
+            GPUBackend,
+            "euclidean",
+            2,
+            np.random.default_rng(12345),
+            prefer="numpy",
+        )
+        assert gpu_torch.xp.name == "torch"
+        queries = rng.integers(0, 4, size=(16, 24))
+        pt, dt = gpu_torch.search(queries, 5)
+        pn, dn = gpu_numpy.search(queries, 5)
+        assert np.array_equal(pt, pn)
+        assert np.array_equal(dt, dn)

@@ -1,0 +1,128 @@
+"""Incremental sync of the lazily-built tiered shadow.
+
+The shadow behind ``search(mode="tiered")`` on a non-tiered backend used
+to re-program every coarse bank on any write-generation bump.  The store
+is append-only between compactions, so the sync must be a delta: a
+single-row ``add`` may only touch the bank it lands in — untouched banks
+keep their array objects, write generations and compiled kernels — and a
+``remove`` only flips tombstones.  ``compact`` reassigns positions and
+is the one mutation that legitimately forces a full re-program.
+"""
+
+import numpy as np
+
+from repro.index import FerexIndex
+
+
+def _bank_state(shadow):
+    """(array object id, write generation) per coarse bank."""
+    return [
+        (id(bank.engine.array), bank.engine.array.write_generation)
+        for bank in shadow.coarse._banks
+    ]
+
+
+def _build(rng, n=20):
+    index = FerexIndex(
+        dims=10, metric="hamming", bits=2, backend="exact", bank_rows=8
+    )
+    index.add(rng.integers(0, 4, size=(n, 10)))
+    return index
+
+
+def _reference(index, queries, k):
+    """A fresh index over the same live set: the ground truth any sync
+    strategy must reproduce."""
+    fresh = FerexIndex(
+        dims=10, metric="hamming", bits=2, backend="exact", bank_rows=8
+    )
+    live = np.flatnonzero(index._alive)
+    fresh.add(index._vectors[live], ids=index._ids[live])
+    return fresh.search(queries, k=k, mode="tiered", refine_factor=4)
+
+
+class TestIncrementalShadowSync:
+    def test_single_row_add_touches_only_its_bank(self, rng):
+        index = _build(rng)  # 20 rows -> coarse banks of 8 + 8 + 4
+        queries = rng.integers(0, 4, size=(6, 10))
+        index.search(queries, k=3, mode="tiered", refine_factor=4)
+        shadow = index._shadow_tiered
+        before = _bank_state(shadow)
+        assert len(before) == 3
+
+        index.add(rng.integers(0, 4, size=(1, 10)))
+        result = index.search(queries, k=3, mode="tiered", refine_factor=4)
+
+        assert index._shadow_tiered is shadow  # same shadow, synced
+        after = _bank_state(shadow)
+        # Banks 0 and 1 were full and untouched: same array object,
+        # same write generation — no re-program, no LUT recompile.
+        assert after[0] == before[0]
+        assert after[1] == before[1]
+        # The row landed in bank 2, whose generation must have moved.
+        assert after[2] != before[2]
+        reference = _reference(index, queries, 3)
+        assert np.array_equal(result.ids, reference.ids)
+        assert np.array_equal(result.distances, reference.distances)
+
+    def test_kernel_cache_survives_on_untouched_banks(self, rng):
+        index = _build(rng)
+        queries = rng.integers(0, 4, size=(4, 10))
+        index.search(queries, k=2, mode="tiered", refine_factor=4)
+        shadow = index._shadow_tiered
+        kernels = [
+            bank.engine.quantized_kernel()
+            for bank in shadow.coarse._banks
+        ]
+        assert all(k is not None for k in kernels)
+
+        index.add(rng.integers(0, 4, size=(1, 10)))
+        index.search(queries, k=2, mode="tiered", refine_factor=4)
+        # The full banks' compiled kernels are the very same objects.
+        for ordinal in (0, 1):
+            bank = shadow.coarse._banks[ordinal]
+            assert bank.engine.quantized_kernel() is kernels[ordinal]
+
+    def test_remove_only_flips_tombstones(self, rng):
+        index = _build(rng)
+        queries = rng.integers(0, 4, size=(6, 10))
+        index.search(queries, k=3, mode="tiered", refine_factor=4)
+        shadow = index._shadow_tiered
+        before = _bank_state(shadow)
+
+        index.remove([3, 12])
+        result = index.search(queries, k=3, mode="tiered", refine_factor=4)
+        # No bank re-programs for a tombstone: every generation holds.
+        assert _bank_state(shadow) == before
+        reference = _reference(index, queries, 3)
+        assert np.array_equal(result.ids, reference.ids)
+        assert np.array_equal(result.distances, reference.distances)
+
+    def test_compact_forces_full_resync(self, rng):
+        index = _build(rng)
+        queries = rng.integers(0, 4, size=(6, 10))
+        index.search(queries, k=3, mode="tiered", refine_factor=4)
+        index.remove([0, 5, 9, 15])
+        index.compact()
+        result = index.search(queries, k=3, mode="tiered", refine_factor=4)
+        reference = _reference(index, queries, 3)
+        assert np.array_equal(result.ids, reference.ids)
+        assert np.array_equal(result.distances, reference.distances)
+
+    def test_interleaved_mutations_stay_correct(self, rng):
+        """Adds, removes, a compact and more adds, re-syncing between
+        each: the shadow must always answer like a fresh build."""
+        index = _build(rng, n=10)
+        queries = rng.integers(0, 4, size=(5, 10))
+        for step in range(4):
+            index.add(rng.integers(0, 4, size=(3, 10)))
+            live = np.flatnonzero(index._alive)
+            index.remove([int(index._ids[live[step]])])
+            if step == 2:
+                index.compact()
+            result = index.search(
+                queries, k=2, mode="tiered", refine_factor=4
+            )
+            reference = _reference(index, queries, 2)
+            assert np.array_equal(result.ids, reference.ids)
+            assert np.array_equal(result.distances, reference.distances)
