@@ -1,0 +1,600 @@
+"""Wire serving: the HTTP front-end vs in-process serving, sustained
+mixed load, and admission-control shedding.
+
+``bench_serving`` measures the in-process serving stack; this bench
+puts :class:`repro.serve.net.NetFrontend` in front of it and measures
+what the wire costs and what the overload machinery does:
+
+* **wire tax** — closed-loop clients at concurrency 64, once calling
+  ``FerexServer.search`` directly and once through HTTP over localhost
+  (one keep-alive connection per client).  The served answers stay
+  bit-identical; the gate bounds the latency tax: wire p99 <= 5x
+  in-process p99;
+* **sustained mixed load** — concurrency 256, a
+  ``FEREX_SOAK_REQUESTS``-scaled op stream of searches interleaved
+  with wire ``add``/``remove`` writes, behind an admission budget the
+  load stays below.  Floor: *zero* non-200 responses — under its
+  admission limit the front-end must never shed or fail — and the
+  final wire answers are bit-identical to direct search over the
+  mutated index;
+* **overload shedding** — a burst four times wider than a deliberately
+  tiny admission budget: the budget's worth is served, the rest is
+  429 + ``Retry-After``, nothing hangs, and the pending gauge drains
+  to zero.
+
+Every workload is explicitly seeded; timings move run-to-run, answers
+do not.  Results persist to ``results/BENCH_serving_net.json``.
+
+Runnable either under pytest or as a module::
+
+    PYTHONPATH=src python -m benchmarks.bench_serving_net --quick
+"""
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+from repro.eval.reporting import format_table, summarize_latencies
+from repro.index import FerexIndex
+from repro.serve import FerexServer
+from repro.serve.net import AdmissionController, HttpClient, NetFrontend
+
+from benchmarks._cli import bench_main, save_artifact, save_json_artifact
+
+#: The HDC-inference-shaped workload shared with bench_serving.
+ROWS = 16
+DIMS = 512
+BITS = 1
+K = 3
+MAX_BATCH = 64
+MAX_WAIT_MS = 2.0
+
+WIRE_CONCURRENCY = 64
+WIRE_N_QUERIES = 1024
+WIRE_QUICK_N_QUERIES = 512
+#: Wire-tax ceiling: served-over-HTTP p99 vs in-process p99 at the
+#: same concurrency.
+MAX_WIRE_P99_VS_INPROC = 5.0
+
+SUSTAINED_CONCURRENCY = 256
+#: Sustained-phase op budget; scaled by FEREX_SOAK_REQUESTS exactly
+#: like the serve-soak suite (nightlies raise it, CI pins the quick
+#: profile).
+SUSTAINED_OPS = int(os.environ.get("FEREX_SOAK_REQUESTS", "400"))
+#: One wire write (add / remove alternating) per this many ops.
+WRITE_EVERY = 10
+#: The sustained phase runs far below this admission budget — at or
+#: under the limit, shedding anything is a bug.
+ADMISSION_MAX_PENDING = 1024
+
+#: Overload demo: a burst this many times the tiny budget.
+SHED_BUDGET = 8
+SHED_BURST = 32
+
+SEED_STORED = 61
+SEED_QUERIES = 67
+SEED_WRITES = 71
+
+#: Clients connect in chunks so a 256-wide wave cannot overflow the
+#: listener's accept backlog.
+CONNECT_CHUNK = 50
+
+
+def _deflake_gate(first, remeasure, prefer, passes, max_retries=2):
+    """Same de-flake policy as bench_serving: the gate compares two
+    timed series, so re-measure a fresh paired ratio while it fails,
+    keep the best, and always record the first measurement."""
+    best = first
+    retries = 0
+    while not passes(best) and retries < max_retries:
+        best = prefer(best, remeasure())
+        retries += 1
+    return best
+
+
+def _build_index() -> FerexIndex:
+    index = FerexIndex(dims=DIMS, metric="hamming", bits=BITS)
+    rng = np.random.default_rng(SEED_STORED)
+    index.add(rng.integers(0, 1 << BITS, size=(ROWS, DIMS)))
+    return index
+
+
+def _make_queries(n) -> np.ndarray:
+    rng = np.random.default_rng(SEED_QUERIES)
+    return rng.integers(0, 1 << BITS, size=(n, DIMS))
+
+
+async def _connect_clients(port, n):
+    clients = []
+    for start in range(0, n, CONNECT_CHUNK):
+        chunk = min(CONNECT_CHUNK, n - start)
+        clients.extend(
+            await asyncio.gather(
+                *(
+                    HttpClient.connect("127.0.0.1", port)
+                    for _ in range(chunk)
+                )
+            )
+        )
+    return clients
+
+
+def _latency_summary(latencies) -> dict:
+    summary = summarize_latencies(latencies, percentiles=(50.0, 95.0, 99.0))
+    return {
+        "count": summary["count"],
+        "p50_ms": summary["p50"] * 1e3,
+        "p95_ms": summary["p95"] * 1e3,
+        "p99_ms": summary["p99"] * 1e3,
+        "max_ms": summary["max"] * 1e3,
+    }
+
+
+def _measure_inproc(index, queries, concurrency) -> dict:
+    """Closed-loop clients against ``FerexServer.search`` directly —
+    the in-process baseline the wire tax is measured against."""
+
+    async def client(server, stream, outcomes, latencies):
+        while True:
+            try:
+                row, query = next(stream)
+            except StopIteration:
+                return
+            t0 = time.perf_counter()
+            outcomes[row] = await server.search(query, k=K)
+            latencies.append(time.perf_counter() - t0)
+
+    async def main():
+        async with FerexServer(
+            index,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=MAX_WAIT_MS,
+            cache_size=0,
+        ) as server:
+            await server.search(queries[0], k=K)  # warm-up
+            stream = iter(enumerate(queries))
+            outcomes = [None] * len(queries)
+            latencies = []
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    client(server, stream, outcomes, latencies)
+                    for _ in range(concurrency)
+                )
+            )
+            elapsed = time.perf_counter() - t0
+        direct = index.search(queries, k=K)
+        ids = np.stack([o.ids for o in outcomes])
+        assert np.array_equal(ids, direct.ids)
+        return {
+            "n_queries": len(queries),
+            "qps": len(queries) / elapsed,
+            "latency": _latency_summary(latencies),
+        }
+
+    return asyncio.run(main())
+
+
+def _measure_wire(index, queries, concurrency) -> dict:
+    """The same closed loop through HTTP: one keep-alive connection per
+    client, every answer checked bit-identical to direct search.
+
+    Request bodies are encoded up front: a real client is another
+    process (usually another machine), so its JSON encode cost does not
+    belong in the served-latency series — everything from first byte
+    written to last byte read does, and is what the timer covers.
+    """
+    import json as _json
+
+    bodies = [
+        _json.dumps({"query": query.tolist(), "k": K}).encode()
+        for query in queries
+    ]
+
+    async def client(http, stream, outcomes, latencies):
+        while True:
+            try:
+                row, body = next(stream)
+            except StopIteration:
+                return
+            t0 = time.perf_counter()
+            response = await http.request("POST", "/v1/search", body=body)
+            latencies.append(time.perf_counter() - t0)
+            outcomes[row] = response
+
+    async def main():
+        async with FerexServer(
+            index,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=MAX_WAIT_MS,
+            cache_size=0,
+        ) as server:
+            admission = AdmissionController(
+                max_pending=ADMISSION_MAX_PENDING
+            )
+            async with NetFrontend(server, admission=admission) as frontend:
+                clients = await _connect_clients(
+                    frontend.bound_port, concurrency
+                )
+                try:
+                    # Warm-up (connection setup, first JSON encode).
+                    await clients[0].request(
+                        "POST", "/v1/search", body=bodies[0]
+                    )
+                    stream = iter(enumerate(bodies))
+                    outcomes = [None] * len(queries)
+                    latencies = []
+                    t0 = time.perf_counter()
+                    await asyncio.gather(
+                        *(
+                            client(http, stream, outcomes, latencies)
+                            for http in clients
+                        )
+                    )
+                    elapsed = time.perf_counter() - t0
+                finally:
+                    for http in clients:
+                        await http.close()
+                statuses = {}
+                for response in outcomes:
+                    key = str(response.status)
+                    statuses[key] = statuses.get(key, 0) + 1
+                direct = index.search(queries, k=K)
+                for row, response in enumerate(outcomes):
+                    assert response.status == 200
+                    payload = response.json()
+                    assert payload["ids"] == direct.ids[row].tolist()
+                return {
+                    "n_queries": len(queries),
+                    "concurrency": concurrency,
+                    "qps": len(queries) / elapsed,
+                    "latency": _latency_summary(latencies),
+                    "status_counts": statuses,
+                    "n_shed": frontend.n_shed_429 + frontend.n_shed_503,
+                }
+
+    return asyncio.run(main())
+
+
+def _measure_sustained(n_ops) -> dict:
+    """Concurrency-256 mixed read/write stream under an admission
+    budget the load never reaches.  Everything must be answered 200,
+    and after the dust settles the wire must agree with direct search
+    over the mutated index."""
+    index = _build_index()
+    queries = _make_queries(max(n_ops, 64))
+    write_rng = np.random.default_rng(SEED_WRITES)
+    # Disposable rows loaded before serving: the op stream is drained
+    # by 256 workers concurrently, so a remove may run before any wire
+    # add has landed — it must target a row that already exists.
+    n_writes = (n_ops - 1) // WRITE_EVERY if n_ops else 0
+    n_removes = n_writes // 2 + 1
+    disposable = index.add(
+        write_rng.integers(0, 1 << BITS, size=(n_removes, DIMS))
+    )
+
+    async def worker(http, stream, counters, latencies):
+        while True:
+            try:
+                op = next(stream)
+            except StopIteration:
+                return
+            kind, payload = op
+            t0 = time.perf_counter()
+            if kind == "search":
+                response = await http.request(
+                    "POST",
+                    "/v1/search",
+                    json_body={"query": payload, "k": K},
+                )
+            elif kind == "add":
+                response = await http.request(
+                    "POST", "/v1/add", json_body={"vectors": [payload]}
+                )
+            else:  # remove one pre-loaded disposable row
+                response = await http.request(
+                    "POST", "/v1/remove", json_body={"ids": [payload]}
+                )
+            latencies.append(time.perf_counter() - t0)
+            counters[kind] = counters.get(kind, 0) + 1
+            counters.setdefault("statuses", {})
+            key = str(response.status)
+            counters["statuses"][key] = (
+                counters["statuses"].get(key, 0) + 1
+            )
+
+    def make_ops():
+        ops = []
+        toggle = 0
+        removed = 0
+        for i in range(n_ops):
+            if i and i % WRITE_EVERY == 0:
+                if toggle % 2 == 0:
+                    ops.append(
+                        (
+                            "add",
+                            write_rng.integers(
+                                0, 1 << BITS, size=DIMS
+                            ).tolist(),
+                        )
+                    )
+                else:
+                    ops.append(("remove", int(disposable[removed])))
+                    removed += 1
+                toggle += 1
+            else:
+                ops.append(("search", queries[i % len(queries)].tolist()))
+        return ops
+
+    async def main():
+        async with FerexServer(
+            index,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=MAX_WAIT_MS,
+            cache_size=1024,
+        ) as server:
+            admission = AdmissionController(
+                max_pending=ADMISSION_MAX_PENDING
+            )
+            async with NetFrontend(server, admission=admission) as frontend:
+                clients = await _connect_clients(
+                    frontend.bound_port, SUSTAINED_CONCURRENCY
+                )
+                try:
+                    stream = iter(make_ops())
+                    counters = {}
+                    latencies = []
+                    t0 = time.perf_counter()
+                    await asyncio.gather(
+                        *(
+                            worker(http, stream, counters, latencies)
+                            for http in clients
+                        )
+                    )
+                    elapsed = time.perf_counter() - t0
+                    # Settled check: the wire agrees with direct search
+                    # over whatever the mixed stream left behind.
+                    check = queries[:16]
+                    response = await clients[0].request(
+                        "POST",
+                        "/v1/search_batch",
+                        json_body={"queries": check.tolist(), "k": K},
+                    )
+                    assert response.status == 200
+                    direct = index.search(check, k=K)
+                    parity = (
+                        response.json()["ids"] == direct.ids.tolist()
+                    )
+                finally:
+                    for http in clients:
+                        await http.close()
+                return {
+                    "concurrency": SUSTAINED_CONCURRENCY,
+                    "n_ops": n_ops,
+                    "ops_per_s": n_ops / elapsed,
+                    "n_search": counters.get("search", 0),
+                    "n_add": counters.get("add", 0),
+                    "n_remove": counters.get("remove", 0),
+                    "status_counts": counters.get("statuses", {}),
+                    "latency": _latency_summary(latencies),
+                    "admission_peak_pending": admission.peak_pending,
+                    "admission_max_pending": admission.max_pending,
+                    "n_shed": frontend.n_shed_429 + frontend.n_shed_503,
+                    "final_parity": bool(parity),
+                }
+
+    return asyncio.run(main())
+
+
+def _measure_shedding() -> dict:
+    """A burst far wider than a tiny admission budget: count what is
+    served and what is shed, and verify the shed half got honest 429 +
+    Retry-After answers."""
+    index = _build_index()
+    queries = _make_queries(SHED_BURST)
+
+    async def main():
+        # A long flush window keeps admitted requests pending while
+        # the whole burst arrives — worst case for the budget.
+        async with FerexServer(
+            index,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=50.0,
+            cache_size=0,
+        ) as server:
+            admission = AdmissionController(
+                max_pending=SHED_BUDGET, retry_after_s=0.05
+            )
+            async with NetFrontend(server, admission=admission) as frontend:
+                clients = await _connect_clients(
+                    frontend.bound_port, SHED_BURST
+                )
+                try:
+                    responses = await asyncio.gather(
+                        *(
+                            http.request(
+                                "POST",
+                                "/v1/search",
+                                json_body={
+                                    "query": queries[i].tolist(),
+                                    "k": K,
+                                },
+                            )
+                            for i, http in enumerate(clients)
+                        )
+                    )
+                finally:
+                    for http in clients:
+                        await http.close()
+                served = [r for r in responses if r.status == 200]
+                shed = [r for r in responses if r.status == 429]
+                assert len(served) + len(shed) == SHED_BURST
+                for response in shed:
+                    assert response.retry_after_s is not None
+                return {
+                    "budget": SHED_BUDGET,
+                    "burst": SHED_BURST,
+                    "n_served": len(served),
+                    "n_shed_429": len(shed),
+                    "retry_after_s": admission.retry_after_s,
+                    "pending_after_drain": admission.pending,
+                }
+
+    return asyncio.run(main())
+
+
+def run(quick=False):
+    """Bench body shared by the pytest and ``python -m`` entry points."""
+    n_wire = WIRE_QUICK_N_QUERIES if quick else WIRE_N_QUERIES
+    n_sustained = (
+        max(128, SUSTAINED_OPS // 2) if quick else SUSTAINED_OPS
+    )
+    index = _build_index()
+    queries = _make_queries(n_wire)
+    index.search(queries[:MAX_BATCH], k=K)  # warm the bias tables
+
+    inproc = _measure_inproc(index, queries, WIRE_CONCURRENCY)
+    wire = _measure_wire(index, queries, WIRE_CONCURRENCY)
+
+    def _wire_tax_ratio():
+        retry_inproc = _measure_inproc(index, queries, WIRE_CONCURRENCY)
+        retry_wire = _measure_wire(index, queries, WIRE_CONCURRENCY)
+        return (
+            retry_wire["latency"]["p99_ms"]
+            / retry_inproc["latency"]["p99_ms"]
+        )
+
+    first_tax = wire["latency"]["p99_ms"] / inproc["latency"]["p99_ms"]
+    wire_tax = _deflake_gate(
+        first_tax,
+        _wire_tax_ratio,
+        prefer=min,
+        passes=lambda value: value <= MAX_WIRE_P99_VS_INPROC,
+    )
+
+    sustained = _measure_sustained(n_sustained)
+    shedding = _measure_shedding()
+
+    text = format_table(
+        ["series", "conc", "requests", "qps", "p50 ms", "p99 ms", "shed"],
+        [
+            [
+                "in-process",
+                f"{WIRE_CONCURRENCY}",
+                f"{inproc['n_queries']}",
+                f"{inproc['qps']:.0f}",
+                f"{inproc['latency']['p50_ms']:.2f}",
+                f"{inproc['latency']['p99_ms']:.2f}",
+                "-",
+            ],
+            [
+                "wire",
+                f"{WIRE_CONCURRENCY}",
+                f"{wire['n_queries']}",
+                f"{wire['qps']:.0f}",
+                f"{wire['latency']['p50_ms']:.2f}",
+                f"{wire['latency']['p99_ms']:.2f}",
+                f"{wire['n_shed']}",
+            ],
+            [
+                "sustained r/w",
+                f"{SUSTAINED_CONCURRENCY}",
+                f"{sustained['n_ops']}",
+                f"{sustained['ops_per_s']:.0f}",
+                f"{sustained['latency']['p50_ms']:.2f}",
+                f"{sustained['latency']['p99_ms']:.2f}",
+                f"{sustained['n_shed']}",
+            ],
+            [
+                "overload burst",
+                f"{SHED_BURST}",
+                f"{SHED_BURST}",
+                "-",
+                "-",
+                "-",
+                f"{shedding['n_shed_429']}",
+            ],
+        ],
+        title=(
+            f"HTTP front-end ({ROWS}x{DIMS}, k={K}): wire p99 = "
+            f"{first_tax:.2f}x in-process p99 at concurrency "
+            f"{WIRE_CONCURRENCY}; overload sheds "
+            f"{shedding['n_shed_429']}/{SHED_BURST} beyond a "
+            f"{SHED_BUDGET}-deep budget"
+        ),
+    )
+    save_artifact("serving_net", text)
+
+    save_json_artifact(
+        "BENCH_serving_net",
+        {
+            "workload": {
+                "rows": ROWS,
+                "dims": DIMS,
+                "bits": BITS,
+                "k": K,
+                "max_batch_size": MAX_BATCH,
+                "max_wait_ms": MAX_WAIT_MS,
+                "admission_max_pending": ADMISSION_MAX_PENDING,
+                "quick": quick,
+            },
+            "seeds": {
+                "stored": SEED_STORED,
+                "queries": SEED_QUERIES,
+                "writes": SEED_WRITES,
+            },
+            "inproc_concurrency_64": inproc,
+            "wire_concurrency_64": wire,
+            # First, unretried measurement (the trajectory signal);
+            # the gate uses the de-flaked best.
+            "wire_p99_vs_inproc_p99": first_tax,
+            "wire_p99_vs_inproc_p99_best": wire_tax,
+            "sustained": sustained,
+            "shedding": shedding,
+        },
+    )
+
+    # Floor 1: under its admission limit the wire never sheds or
+    # fails — every response in both below-limit phases is a 200.
+    assert list(wire["status_counts"]) == ["200"], (
+        f"non-200 responses below the admission limit: "
+        f"{wire['status_counts']}"
+    )
+    assert wire["n_shed"] == 0
+    assert list(sustained["status_counts"]) == ["200"], (
+        f"sustained mixed load shed or failed below the admission "
+        f"limit: {sustained['status_counts']}"
+    )
+    assert sustained["n_shed"] == 0
+    assert sustained["admission_peak_pending"] <= ADMISSION_MAX_PENDING
+    assert sustained["final_parity"], (
+        "wire answers diverged from direct search after the mixed load"
+    )
+
+    # Floor 2: the wire tax at concurrency 64 — HTTP parsing, JSON and
+    # localhost sockets — must stay within 5x of in-process p99.
+    assert wire_tax <= MAX_WIRE_P99_VS_INPROC, (
+        f"wire p99 is {wire_tax:.2f}x in-process p99 at concurrency "
+        f"{WIRE_CONCURRENCY}; ceiling is {MAX_WIRE_P99_VS_INPROC:.1f}x"
+    )
+
+    # Floor 3: overload actually sheds (the budget is real) and every
+    # admitted request was served.
+    assert shedding["n_shed_429"] > 0
+    assert shedding["n_served"] >= SHED_BUDGET
+    assert shedding["pending_after_drain"] == 0
+
+    return {
+        "wire_tax": wire_tax,
+        "sustained_ops_per_s": sustained["ops_per_s"],
+    }
+
+
+def test_serving_net():
+    run()
+
+
+if __name__ == "__main__":
+    bench_main(run, "HTTP front-end: wire tax, sustained load, shedding")

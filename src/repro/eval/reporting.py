@@ -88,33 +88,44 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return float(np.percentile(list(samples), q))
 
 
-def summarize_latencies(samples: Sequence[float]) -> dict:
-    """Serving-latency summary: count/mean/p50/p95/p99/max (seconds).
+def _percentile_key(q: float) -> str:
+    """``50 -> 'p50'``, ``99.9 -> 'p99.9'`` — integral percentiles drop
+    the trailing ``.0`` so the default keys stay ``p50/p95/p99``."""
+    return f"p{int(q)}" if float(q) == int(q) else f"p{float(q):g}"
+
+
+def summarize_latencies(
+    samples: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> dict:
+    """Serving-latency summary: count/mean/percentiles/max (seconds).
 
     The shared shape for :class:`repro.serve.ServerStats` snapshots and
-    ``benchmarks/bench_serving.py`` artifacts, so latency trajectories
-    diff cleanly across PRs.  Empty input reports zeros rather than
+    the serving benches' artifacts, so latency trajectories diff
+    cleanly across PRs.  ``percentiles`` selects which quantiles are
+    emitted (keys ``p50``, ``p95``, ``p99.9``, ...); the default
+    matches the SLO gates in ``bench_serving_net`` and the ``/metrics``
+    endpoint (p50/p95/p99).  Empty input reports zeros rather than
     raising: a server that has not yet served is a valid thing to
     snapshot.
     """
+    keys = [_percentile_key(q) for q in percentiles]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate percentiles requested: {percentiles}")
     if len(samples) == 0:
-        return {
-            "count": 0,
-            "mean": 0.0,
-            "p50": 0.0,
-            "p95": 0.0,
-            "p99": 0.0,
-            "max": 0.0,
-        }
+        summary = {"count": 0, "mean": 0.0}
+        summary.update({key: 0.0 for key in keys})
+        summary["max"] = 0.0
+        return summary
     values = [float(s) for s in samples]
-    return {
+    summary = {
         "count": len(values),
         "mean": sum(values) / len(values),
-        "p50": percentile(values, 50.0),
-        "p95": percentile(values, 95.0),
-        "p99": percentile(values, 99.0),
-        "max": max(values),
     }
+    for key, q in zip(keys, percentiles):
+        summary[key] = percentile(values, float(q))
+    summary["max"] = max(values)
+    return summary
 
 
 def engineering(value: float, unit: str) -> str:

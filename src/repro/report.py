@@ -40,6 +40,7 @@ ARTIFACT_ORDER = [
     "batch_throughput",
     "index_scaling",
     "serving",
+    "serving_net",
     "reconfig",
 ]
 

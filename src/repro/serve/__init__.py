@@ -15,11 +15,15 @@
   for read parallelism beyond the GIL; writes drain through the
   single-writer path and republish a fresh generation;
 * :class:`ServerStats` — qps, batch-size histogram, cache hit rate and
-  latency percentiles for benchmarks and tests.
+  latency percentiles for benchmarks and tests;
+* :mod:`repro.serve.net` — the HTTP wire on top: front-end, admission
+  control and the pool autoscaler (:class:`~repro.serve.net.
+  NetFrontend`, :class:`~repro.serve.net.AdmissionController`,
+  :class:`~repro.serve.net.Autoscaler`).
 """
 
 from .cache import QueryCache
-from .coalescer import RequestCoalescer
+from .coalescer import DeadlineExceededError, RequestCoalescer
 from .procpool import PoolBrokenError, ProcReplicaPool
 from .router import Replica, ReplicaParityError, ReplicaRouter
 from .server import FerexServer
@@ -32,6 +36,7 @@ from .shm import (
 from .stats import ServerStats
 
 __all__ = [
+    "DeadlineExceededError",
     "FerexServer",
     "PoolBrokenError",
     "ProcReplicaPool",

@@ -65,15 +65,35 @@ DispatchFn = Callable[
 ]
 
 
+class DeadlineExceededError(TimeoutError):
+    """A request's deadline expired while it was parked in the pending
+    queue: it was rejected at flush time instead of being dispatched.
+
+    The wire front-end maps this to ``503`` + ``Retry-After`` — under
+    overload, queue time (not service time) is what grows without
+    bound, so rejecting stale requests before they reach the array is
+    what keeps served p99 bounded.
+    """
+
+
 class _Pending:
-    """One parked request: query row, k, and the caller's future."""
+    """One parked request: query row, k, deadline, caller's future."""
 
-    __slots__ = ("query", "k", "future")
+    __slots__ = ("query", "k", "future", "deadline")
 
-    def __init__(self, query: np.ndarray, k: int, future: asyncio.Future):
+    def __init__(
+        self,
+        query: np.ndarray,
+        k: int,
+        future: asyncio.Future,
+        deadline: Optional[float] = None,
+    ):
         self.query = query
         self.k = k
         self.future = future
+        #: Absolute event-loop time after which the request must not be
+        #: dispatched (None = no deadline).
+        self.deadline = deadline
 
 
 class RequestCoalescer:
@@ -157,6 +177,9 @@ class RequestCoalescer:
         self._inline_inflight = 0
         self._inline_drained = asyncio.Event()
         self._inline_drained.set()
+        #: Requests rejected at flush time because their deadline had
+        #: already expired while parked (never dispatched).
+        self.n_deadline_drops = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -164,6 +187,19 @@ class RequestCoalescer:
     def n_pending(self) -> int:
         """Requests parked and not yet dispatched."""
         return len(self._pending)
+
+    @property
+    def ewma_service_s(self) -> Optional[float]:
+        """EWMA of batch dispatch durations in seconds (``None`` until
+        the first batch is served) — the service-time half of the
+        autoscaling signal."""
+        return self._ewma_service
+
+    @property
+    def ewma_gap_s(self) -> Optional[float]:
+        """EWMA of submit inter-arrival gaps in seconds (``None``
+        before the second submit)."""
+        return self._ewma_gap
 
     def _observe_arrival(self, now: float) -> None:
         if self._last_arrival is not None:
@@ -206,16 +242,34 @@ class RequestCoalescer:
         return min(self.max_wait_s, self._wait_gain * self._ewma_gap)
 
     async def submit(
-        self, query: np.ndarray, k: int
+        self,
+        query: np.ndarray,
+        k: int,
+        deadline: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Park one query until its micro-batch flushes; returns this
-        query's ``(ids, distances)`` row."""
+        query's ``(ids, distances)`` row.
+
+        ``deadline`` is an absolute event-loop time
+        (``loop.time()``-based).  A request whose deadline has already
+        passed raises :class:`DeadlineExceededError` immediately; one
+        whose deadline expires *while parked* is rejected at flush time
+        instead of being dispatched (stale work never reaches the
+        index).  A deadline does not abort a dispatch already in
+        flight — the answer is nearly done by then, and returning it
+        costs nothing extra.
+        """
         if self._closed:
             raise RuntimeError("coalescer is closed")
         loop = asyncio.get_running_loop()
-        self._observe_arrival(loop.time())
+        now = loop.time()
+        if deadline is not None and now >= deadline:
+            raise DeadlineExceededError(
+                "deadline expired before the request could be queued"
+            )
+        self._observe_arrival(now)
         future = loop.create_future()
-        pending = _Pending(query, k, future)
+        pending = _Pending(query, k, future, deadline)
         if (
             self.adaptive_wait
             and not self._pending
@@ -294,6 +348,23 @@ class RequestCoalescer:
         batch, self._pending = self._pending, []
         # Callers that cancelled while parked drop out of the batch.
         batch = [p for p in batch if not p.future.done()]
+        # Requests whose deadline expired while parked are rejected
+        # here, before any dispatch work is spent on them.
+        now = asyncio.get_running_loop().time()
+        expired = [
+            p
+            for p in batch
+            if p.deadline is not None and now >= p.deadline
+        ]
+        if expired:
+            batch = [p for p in batch if p not in expired]
+            self.n_deadline_drops += len(expired)
+            for pending in expired:
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline expired while queued for dispatch"
+                    )
+                )
         if not batch:
             return
         # One index call per distinct k, arrival order preserved.

@@ -1,0 +1,31 @@
+"""The network front-end: HTTP wire protocol and elastic serving over
+:class:`repro.serve.FerexServer`.
+
+* :class:`NetFrontend` — dependency-free asyncio HTTP/1.1 front-end:
+  JSON search endpoints riding the request coalescer, streaming NDJSON
+  bulk writes through the single-writer path, ``/healthz`` and
+  ``/metrics``;
+* :class:`AdmissionController` — bounded pending budget; overload is
+  shed with ``429`` + ``Retry-After`` instead of queued without limit;
+* :class:`Autoscaler` — grows/shrinks
+  :class:`~repro.serve.procpool.ProcReplicaPool` workers from the
+  coalescer queue-depth gauge and EWMA service time;
+* :class:`HttpClient` — the matching minimal asyncio client (tests,
+  benches, examples).
+"""
+
+from .admission import AdmissionController, AdmissionError
+from .autoscaler import Autoscaler
+from .client import HttpClient, Response
+from .frontend import NetFrontend
+from .protocol import HttpError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Autoscaler",
+    "HttpClient",
+    "HttpError",
+    "NetFrontend",
+    "Response",
+]

@@ -1,0 +1,120 @@
+"""Admission control: a bounded pending budget with explicit shedding.
+
+Under overload an unbounded server does not get slower gracefully — it
+queues without limit, so *every* request's latency grows until clients
+time out and retry, which queues more.  The fix is the classic one:
+admit work up to a fixed in-flight budget and reject the rest
+*immediately* with ``429 Too Many Requests`` + ``Retry-After``.
+Rejected requests cost microseconds; admitted requests see a queue
+whose depth — and therefore whose p99 — is bounded by construction.
+
+:class:`AdmissionController` is the budget.  It is deliberately tiny
+and event-loop confined (plain counters, no locks): every acquire and
+release happens on the front-end's asyncio thread, mirroring the
+serving layer's existing single-loop discipline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class AdmissionError(RuntimeError):
+    """The pending budget is exhausted; shed this request.
+
+    Mapped to ``429`` + ``Retry-After: retry_after_s`` on the wire.
+    """
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class AdmissionController:
+    """Bounded in-flight request budget for the read path.
+
+    Parameters
+    ----------
+    max_pending:
+        Hard cap on admitted-but-unfinished query rows.  A batched
+        request admits one unit per row, so a 64-row batch cannot
+        sneak past a budget a 64-request burst would have tripped.
+    retry_after_s:
+        The back-off hint attached to rejections (the ``Retry-After``
+        header, in seconds).  A small constant works well: by the time
+        a shed client returns, the bounded queue has drained some
+        multiple of a batch.
+    """
+
+    def __init__(self, max_pending: int = 256, retry_after_s: float = 0.05):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
+        self.max_pending = int(max_pending)
+        self.retry_after_s = float(retry_after_s)
+        self._pending = 0
+        self.peak_pending = 0
+        self.n_admitted = 0
+        self.n_rejected = 0
+
+    @property
+    def pending(self) -> int:
+        """Admitted query rows not yet completed."""
+        return self._pending
+
+    def try_acquire(self, n: int = 1) -> None:
+        """Admit ``n`` rows or raise :class:`AdmissionError`.
+
+        All-or-nothing for batches: partial admission would serve a
+        client a ragged answer, which is worse than a clean 429.
+        """
+        if n < 1:
+            raise ValueError("try_acquire() needs n >= 1")
+        if self._pending + n > self.max_pending:
+            self.n_rejected += n
+            raise AdmissionError(
+                f"pending budget exhausted ({self._pending}/"
+                f"{self.max_pending} in flight, {n} more requested)",
+                retry_after_s=self.retry_after_s,
+            )
+        self._pending += n
+        self.n_admitted += n
+        self.peak_pending = max(self.peak_pending, self._pending)
+
+    def release(self, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError("release() needs n >= 1")
+        if n > self._pending:
+            raise RuntimeError(
+                f"release({n}) exceeds the {self._pending} rows admitted"
+            )
+        self._pending -= n
+
+    @contextmanager
+    def admit(self, n: int = 1) -> Iterator[None]:
+        """``with admission.admit(rows):`` — acquire on entry, always
+        release on exit (success, shed downstream, or error)."""
+        self.try_acquire(n)
+        try:
+            yield
+        finally:
+            self.release(n)
+
+    def snapshot(self) -> dict:
+        """JSON-ready budget state for the ``/metrics`` endpoint."""
+        return {
+            "max_pending": int(self.max_pending),
+            "pending": int(self._pending),
+            "peak_pending": int(self.peak_pending),
+            "n_admitted": int(self.n_admitted),
+            "n_rejected": int(self.n_rejected),
+            "retry_after_s": float(self.retry_after_s),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(pending={self._pending}/"
+            f"{self.max_pending}, rejected={self.n_rejected})"
+        )

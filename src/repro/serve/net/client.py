@@ -1,0 +1,125 @@
+"""A minimal asyncio HTTP/1.1 client for the FeReX wire API.
+
+The test-suite, benchmark driver and examples all need to talk to
+:class:`~repro.serve.net.frontend.NetFrontend` from inside the same
+event loop the front-end runs on — a blocking client (urllib) would
+deadlock, and an external dependency is off the table.  This client
+speaks exactly the subset the front-end serves: keep-alive HTTP/1.1,
+``Content-Length`` bodies, JSON in and out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class Response:
+    """One parsed response: status, headers, decoded JSON (or bytes)."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        raw = self.headers.get("retry-after")
+        return None if raw is None else float(raw)
+
+    def __repr__(self) -> str:
+        return f"Response(status={self.status}, bytes={len(self.body)})"
+
+
+class HttpClient:
+    """One keep-alive connection to the front-end.
+
+    Usage::
+
+        client = await HttpClient.connect(host, port)
+        response = await client.request(
+            "POST", "/v1/search", json_body={"query": [...], "k": 3}
+        )
+        await client.close()
+
+    Requests on one client are serialised (HTTP/1.1 without
+    pipelining); open one client per concurrent in-flight request —
+    which is exactly how the bench models N closed-loop clients.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: str,
+        port: int,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._host = host
+        self._port = port
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "HttpClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, host, port)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[dict] = None,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> Response:
+        """Send one request and read its response."""
+        if json_body is not None:
+            if body is not None:
+                raise ValueError("pass json_body or body, not both")
+            body = json.dumps(json_body).encode("utf-8")
+        body = body or b""
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            head.append(f"Content-Type: {content_type}")
+        head.extend(f"{name}: {value}" for name, value in headers)
+        self._writer.write(
+            "\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body
+        )
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> Response:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        response_headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return Response(status, response_headers, body)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "HttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

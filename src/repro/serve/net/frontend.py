@@ -1,0 +1,637 @@
+"""`NetFrontend`: the HTTP wire over :class:`repro.serve.FerexServer`.
+
+The serving story so far ends at an in-process asyncio facade; this
+module is where traffic from outside the process comes in.  One
+front-end owns one listening socket and speaks the JSON API below;
+every connection is one asyncio task, so concurrent wire requests land
+on the server concurrently — and therefore coalesce into the same
+micro-batches in-process callers would have formed.
+
+Endpoints
+---------
+``POST /v1/search``
+    ``{"query": [...], "k": 3, "deadline_ms": 50}`` →
+    ``{"ids": [...], "distances": [...]}``.  Bit-identical to
+    ``FerexIndex.search(query[None], k)``.
+``POST /v1/search_batch``
+    ``{"queries": [[...], ...], "k": 3}`` → stacked rows.  Each row
+    rides the coalescer independently, so one wire batch micro-batches
+    with every other request in flight.
+``POST /v1/add`` / ``POST /v1/remove``
+    Bulk writes through the single-writer path.  JSON bodies
+    (``{"vectors": [[...]]}`` / ``{"ids": [...]}``) or streaming
+    NDJSON (``application/x-ndjson``, one ``{"vector": [...]}`` /
+    ``{"id": ...}`` object per line) applied chunk-by-chunk as the
+    body arrives — a bulk load larger than memory never buffers whole.
+``POST /v1/compact`` / ``POST /v1/reconfigure``
+    Maintenance writes; reconfigure takes ``{"bits":, "metric":,
+    "banks":}`` and re-voltages online, under live wire traffic.
+``GET /healthz``
+    Liveness + replica/pool integrity (``503`` once the fleet is
+    poisoned or the server closed).
+``GET /metrics``
+    One JSON document: the :class:`~repro.serve.stats.ServerStats`
+    snapshot, wire counters, admission budget, autoscaler state, pool
+    state.  Plain ints/floats throughout — ``json.dumps`` clean.
+
+Overload behaviour (admission + deadlines) is the point of the layer:
+requests beyond the pending budget are shed instantly with ``429`` +
+``Retry-After``; admitted requests whose deadline expires while queued
+are rejected with ``503`` + ``Retry-After`` *before* dispatch (the
+coalescer drops them at flush).  Under any sustained overload the
+queue — and with it served p99 — stays bounded.
+
+Non-finite distances (the ``(-1, inf)`` padding rows served when ``k``
+exceeds the live row count) cross the wire as ``null``: the API emits
+strict JSON that any client stack parses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from collections import Counter
+from contextlib import nullcontext
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...core.engine import NotProgrammedError
+from ..coalescer import DeadlineExceededError
+from ..procpool import PoolBrokenError
+from ..router import ReplicaParityError
+from ..server import FerexServer
+from .admission import AdmissionController, AdmissionError
+from .autoscaler import Autoscaler
+from .protocol import (
+    HttpError,
+    Request,
+    error_body,
+    iter_body_lines,
+    json_body,
+    read_body,
+    read_request,
+    write_response,
+)
+
+#: Retry-After attached to 503 shedding responses (deadline expiry,
+#: poisoned fleet) when no admission controller supplies one.
+_DEFAULT_RETRY_AFTER_S = 0.05
+
+
+def _wire_distances(distances: np.ndarray) -> list:
+    """Distances as strict-JSON floats, non-finite rows as ``None``."""
+    return [
+        float(d) if math.isfinite(d) else None for d in distances.tolist()
+    ]
+
+
+class NetFrontend:
+    """Serve :class:`FerexServer` over HTTP/1.1.
+
+    Parameters
+    ----------
+    server:
+        The in-process serving facade.  The front-end does not own it:
+        closing the front-end stops the wire (and the autoscaler) but
+        leaves the server serving in-process callers.
+    host / port:
+        Bind address; port ``0`` picks a free port (see
+        :attr:`bound_port` after :meth:`start`).
+    admission:
+        Optional :class:`AdmissionController`; without one, nothing is
+        shed and overload queues unboundedly (fine for trusted
+        in-process benches, wrong for a real wire).
+    autoscaler:
+        Optional :class:`Autoscaler`; its control loop is started and
+        stopped with the front-end.
+    default_deadline_ms:
+        Deadline applied to read requests that do not send their own
+        ``deadline_ms``; a client deadline below the default wins.
+        ``None`` = no implicit deadline.
+    max_body_bytes:
+        Request-body cap (``413`` beyond it) — for both buffered JSON
+        and streamed NDJSON bodies.
+    write_chunk_rows:
+        NDJSON streaming writes are applied to the index every this
+        many rows.
+    """
+
+    def __init__(
+        self,
+        server: FerexServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: Optional[AdmissionController] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        default_deadline_ms: Optional[float] = None,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        write_chunk_rows: int = 256,
+    ):
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0")
+        if write_chunk_rows < 1:
+            raise ValueError("write_chunk_rows must be >= 1")
+        self._server = server
+        self._host = host
+        self._port = port
+        self.admission = admission
+        self.autoscaler = autoscaler
+        self.default_deadline_ms = default_deadline_ms
+        self.max_body_bytes = int(max_body_bytes)
+        self.write_chunk_rows = int(write_chunk_rows)
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._autoscaler_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        # Wire counters — event-loop confined, like ServerStats.
+        self.n_connections = 0
+        self.n_requests = 0
+        self.n_shed_429 = 0
+        self.n_shed_503 = 0
+        self.status_counts: Counter = Counter()
+        self.path_counts: Counter = Counter()
+        self._routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/v1/search"): self._handle_search,
+            ("POST", "/v1/search_batch"): self._handle_search_batch,
+            ("POST", "/v1/add"): self._handle_add,
+            ("POST", "/v1/remove"): self._handle_remove,
+            ("POST", "/v1/compact"): self._handle_compact,
+            ("POST", "/v1/reconfigure"): self._handle_reconfigure,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket (and start the autoscaler loop); returns the
+        bound ``(host, port)``."""
+        if self._listener is not None:
+            raise RuntimeError("front-end is already started")
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._port = self._listener.sockets[0].getsockname()[1]
+        if self.autoscaler is not None:
+            self._autoscaler_task = self.autoscaler.start()
+        return self._host, self._port
+
+    @property
+    def bound_port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("front-end is not started")
+        return self._port
+
+    @property
+    def server(self) -> FerexServer:
+        return self._server
+
+    async def close(self) -> None:
+        """Stop accepting, close the listener, stop the autoscaler.
+        The underlying :class:`FerexServer` stays open (the caller owns
+        it)."""
+        if self.autoscaler is not None and self._autoscaler_task is not None:
+            await self.autoscaler.stop()
+            self._autoscaler_task = None
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        # Idle keep-alive connections would otherwise linger (and show
+        # up as cancelled-task noise at loop teardown): cancel and
+        # drain them.  In-flight requests are cut — close() is
+        # shutdown, not drain; the FerexServer's own close() drains.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+
+    async def __aenter__(self) -> "NetFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.n_connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    self._respond_error(writer, exc, keep_alive=False)
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = request.keep_alive
+                self.n_requests += 1
+                self.path_counts[request.path] += 1
+                try:
+                    handler = self._routes.get(
+                        (request.method, request.path)
+                    )
+                    if handler is None:
+                        known_paths = {
+                            path for _, path in self._routes
+                        }
+                        if request.path in known_paths:
+                            raise HttpError(
+                                405,
+                                f"{request.method} not allowed on "
+                                f"{request.path}",
+                            )
+                        raise HttpError(404, f"no route {request.path}")
+                    status, payload = await handler(request, reader)
+                    body = json_body(payload)
+                    self.status_counts[status] += 1
+                    write_response(
+                        writer, status, body, keep_alive=keep_alive
+                    )
+                except HttpError as exc:
+                    # A half-read body would parse as the next
+                    # request's head; such connections cannot survive
+                    # the error.
+                    keep_alive = keep_alive and request.body_consumed
+                    self._respond_error(writer, exc, keep_alive)
+                except Exception as exc:
+                    keep_alive = keep_alive and request.body_consumed
+                    self._respond_error(
+                        writer, self._classify(exc), keep_alive
+                    )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # The peer vanished mid-exchange; nothing to answer.
+            return
+        except asyncio.CancelledError:
+            # close() is tearing the front-end down; end the handler
+            # cleanly (a task left in the cancelled state trips noisy
+            # exception callbacks inside asyncio streams).
+            return
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    def _classify(self, exc: Exception) -> HttpError:
+        """Map serving-layer exceptions onto wire statuses."""
+        if isinstance(exc, AdmissionError):
+            return HttpError(
+                429, str(exc), retry_after_s=exc.retry_after_s
+            )
+        if isinstance(exc, DeadlineExceededError):
+            return HttpError(
+                503, str(exc), retry_after_s=self._retry_after_s()
+            )
+        if isinstance(exc, (PoolBrokenError, ReplicaParityError)):
+            return HttpError(
+                503, str(exc), retry_after_s=self._retry_after_s()
+            )
+        if isinstance(exc, RuntimeError) and "closed" in str(exc):
+            return HttpError(503, str(exc))
+        if isinstance(exc, NotProgrammedError):
+            return HttpError(409, str(exc))
+        if isinstance(exc, (ValueError, TypeError, KeyError)):
+            return HttpError(400, str(exc))
+        return HttpError(500, f"{type(exc).__name__}: {exc}")
+
+    def _retry_after_s(self) -> float:
+        if self.admission is not None:
+            return self.admission.retry_after_s
+        return _DEFAULT_RETRY_AFTER_S
+
+    def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        exc: HttpError,
+        keep_alive: bool,
+    ) -> None:
+        if exc.status == 429:
+            self.n_shed_429 += 1
+        elif exc.status == 503:
+            self.n_shed_503 += 1
+        self.status_counts[exc.status] += 1
+        extra = []
+        if exc.retry_after_s is not None:
+            # Fractional seconds: the spec's integer-seconds field is
+            # too coarse for sub-second micro-batch drains.
+            extra.append(("Retry-After", f"{exc.retry_after_s:.3f}"))
+        write_response(
+            writer,
+            exc.status,
+            error_body(exc.status, exc.message),
+            keep_alive=keep_alive,
+            extra_headers=extra,
+        )
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def _read_json(self, request: Request, reader) -> dict:
+        body = await read_body(reader, request, self.max_body_bytes)
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return payload
+
+    def _deadline(self, payload: dict, request: Request) -> Optional[float]:
+        """Resolve the effective absolute deadline (loop time): the
+        tighter of the client's ``deadline_ms`` (body field or
+        ``X-Deadline-Ms`` header) and the configured default."""
+        raw = payload.get("deadline_ms")
+        if raw is None:
+            raw = request.headers.get("x-deadline-ms")
+        client_ms: Optional[float] = None
+        if raw is not None:
+            try:
+                client_ms = float(raw)
+            except (TypeError, ValueError):
+                raise HttpError(400, f"malformed deadline_ms: {raw!r}")
+            if client_ms <= 0:
+                raise HttpError(400, "deadline_ms must be > 0")
+        budgets = [
+            ms
+            for ms in (client_ms, self.default_deadline_ms)
+            if ms is not None
+        ]
+        if not budgets:
+            return None
+        return asyncio.get_running_loop().time() + min(budgets) / 1000.0
+
+    @staticmethod
+    def _parse_k(payload: dict) -> int:
+        k = payload.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise HttpError(400, f"k must be an integer, got {k!r}")
+        return k
+
+    def _admit(self, rows: int):
+        if self.admission is None:
+            return nullcontext()
+        return self.admission.admit(rows)
+
+    # ------------------------------------------------------------------
+    # Read endpoints
+    # ------------------------------------------------------------------
+    async def _handle_search(self, request: Request, reader):
+        payload = await self._read_json(request, reader)
+        if "query" not in payload:
+            raise HttpError(400, "body must carry 'query'")
+        k = self._parse_k(payload)
+        deadline = self._deadline(payload, request)
+        query = np.asarray(payload["query"])
+        with self._admit(1):
+            outcome = await self._server.search(
+                query, k=k, deadline=deadline
+            )
+        return 200, {
+            "ids": [int(i) for i in outcome.ids.tolist()],
+            "distances": _wire_distances(outcome.distances),
+        }
+
+    async def _handle_search_batch(self, request: Request, reader):
+        payload = await self._read_json(request, reader)
+        if "queries" not in payload:
+            raise HttpError(400, "body must carry 'queries'")
+        k = self._parse_k(payload)
+        deadline = self._deadline(payload, request)
+        queries = np.asarray(payload["queries"])
+        if queries.ndim != 2:
+            raise HttpError(
+                400, f"queries must be a 2-D array, got {queries.shape}"
+            )
+        with self._admit(max(len(queries), 1)):
+            outcome = await self._server.search_many(
+                queries, k=k, deadline=deadline
+            )
+        return 200, {
+            "ids": [[int(i) for i in row] for row in outcome.ids.tolist()],
+            "distances": [
+                _wire_distances(row) for row in outcome.distances
+            ],
+            "n": int(len(queries)),
+        }
+
+    # ------------------------------------------------------------------
+    # Write endpoints (single-writer path, optionally streamed)
+    # ------------------------------------------------------------------
+    async def _handle_add(self, request: Request, reader):
+        if request.content_type == "application/x-ndjson":
+            return await self._streamed_add(request, reader)
+        payload = await self._read_json(request, reader)
+        if "vectors" not in payload:
+            raise HttpError(400, "body must carry 'vectors'")
+        ids = payload.get("ids")
+        assigned = await self._server.add(
+            np.asarray(payload["vectors"]), ids=ids
+        )
+        return 200, {
+            "ids": [int(i) for i in assigned.tolist()],
+            "count": int(len(assigned)),
+        }
+
+    async def _streamed_add(self, request: Request, reader):
+        """NDJSON bulk load: rows are applied through the single-writer
+        path every ``write_chunk_rows`` lines, while the body is still
+        arriving.  Chunks already applied stay applied if a later line
+        is malformed — the response's ``count`` always tells the truth
+        about what landed."""
+        rows: list = []
+        row_ids: list = []
+        assigned: list = []
+        has_ids: Optional[bool] = None
+
+        async def flush():
+            if not rows:
+                return
+            new_ids = await self._server.add(
+                np.asarray(rows), ids=(row_ids if has_ids else None)
+            )
+            assigned.extend(int(i) for i in new_ids.tolist())
+            rows.clear()
+            row_ids.clear()
+
+        async for line in iter_body_lines(
+            reader, request, self.max_body_bytes
+        ):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HttpError(
+                    400,
+                    f"malformed NDJSON line after {len(assigned)} "
+                    f"applied rows: {exc}",
+                )
+            if not isinstance(obj, dict) or "vector" not in obj:
+                raise HttpError(
+                    400, "each NDJSON line must be {'vector': [...]}"
+                )
+            line_has_id = "id" in obj
+            if has_ids is None:
+                has_ids = line_has_id
+            elif has_ids != line_has_id:
+                raise HttpError(
+                    400,
+                    "NDJSON stream mixes rows with and without 'id'",
+                )
+            rows.append(obj["vector"])
+            if has_ids:
+                row_ids.append(obj["id"])
+            if len(rows) >= self.write_chunk_rows:
+                await flush()
+        await flush()
+        return 200, {"ids": assigned, "count": len(assigned)}
+
+    async def _handle_remove(self, request: Request, reader):
+        if request.content_type == "application/x-ndjson":
+            return await self._streamed_remove(request, reader)
+        payload = await self._read_json(request, reader)
+        if "ids" not in payload:
+            raise HttpError(400, "body must carry 'ids'")
+        removed = await self._server.remove(payload["ids"])
+        return 200, {"removed": int(removed)}
+
+    async def _streamed_remove(self, request: Request, reader):
+        ids: list = []
+        removed = 0
+
+        async def flush():
+            nonlocal removed
+            if not ids:
+                return
+            removed += int(await self._server.remove(list(ids)))
+            ids.clear()
+
+        async for line in iter_body_lines(
+            reader, request, self.max_body_bytes
+        ):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HttpError(
+                    400,
+                    f"malformed NDJSON line after {removed} removed: "
+                    f"{exc}",
+                )
+            if not isinstance(obj, dict) or "id" not in obj:
+                raise HttpError(
+                    400, "each NDJSON line must be {'id': ...}"
+                )
+            ids.append(obj["id"])
+            if len(ids) >= self.write_chunk_rows:
+                await flush()
+        await flush()
+        return 200, {"removed": removed}
+
+    async def _handle_compact(self, request: Request, reader):
+        await self._read_json(request, reader)  # drain (empty) body
+        await self._server.compact()
+        return 200, {"ok": True}
+
+    async def _handle_reconfigure(self, request: Request, reader):
+        payload = await self._read_json(request, reader)
+        bits = payload.get("bits")
+        metric = payload.get("metric")
+        banks = payload.get("banks")
+        if bits is None and metric is None and banks is None:
+            raise HttpError(
+                400, "body must carry at least one of bits/metric/banks"
+            )
+        await self._server.reconfigure(bits=bits, metric=metric, banks=banks)
+        return 200, {
+            "ok": True,
+            "write_generation": int(self._server.write_generation),
+        }
+
+    # ------------------------------------------------------------------
+    # Health + metrics
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: Request, reader):
+        await self._read_json(request, reader)
+        server = self._server
+        problems = []
+        if server.router.poisoned:
+            problems.append("replica fleet is poisoned")
+        pool = server.pool
+        if pool is not None and pool.broken:
+            problems.append("process pool is broken")
+        if problems:
+            raise HttpError(
+                503, "; ".join(problems), retry_after_s=None
+            )
+        payload = {
+            "status": "ok",
+            "write_generation": int(server.write_generation),
+            "n_replicas": int(server.n_replicas),
+        }
+        if pool is not None:
+            payload["pool_workers"] = int(pool.n_workers)
+        return 200, payload
+
+    async def _handle_metrics(self, request: Request, reader):
+        await self._read_json(request, reader)
+        payload = {
+            "server": self._server.stats.snapshot(),
+            "net": self.snapshot(),
+        }
+        if self.admission is not None:
+            payload["admission"] = self.admission.snapshot()
+        if self.autoscaler is not None:
+            payload["autoscaler"] = self.autoscaler.snapshot()
+        if self._server.pool is not None:
+            payload["pool"] = {
+                key: value
+                if not isinstance(value, list)
+                else [int(v) for v in value]
+                for key, value in self._server.pool.snapshot().items()
+            }
+        return 200, payload
+
+    def snapshot(self) -> dict:
+        """JSON-ready wire counters (one section of ``/metrics``)."""
+        return {
+            "n_connections": int(self.n_connections),
+            "n_requests": int(self.n_requests),
+            "n_shed_429": int(self.n_shed_429),
+            "n_shed_503": int(self.n_shed_503),
+            "status_counts": {
+                str(int(status)): int(count)
+                for status, count in sorted(self.status_counts.items())
+            },
+            "path_counts": {
+                str(path): int(count)
+                for path, count in sorted(self.path_counts.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        bound = self._port if self._listener is not None else "unbound"
+        shed = self.n_shed_429 + self.n_shed_503
+        return (
+            f"NetFrontend({self._host}:{bound}, "
+            f"requests={self.n_requests}, shed={shed})"
+        )

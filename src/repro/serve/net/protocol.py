@@ -1,0 +1,250 @@
+"""Minimal HTTP/1.1 wire protocol: parse requests, write responses.
+
+Dependency-free by design — the serving stack must run wherever the
+index runs, so the front-end speaks just enough HTTP/1.1 over plain
+``asyncio`` streams for production load balancers, benchmark drivers
+and ``curl`` to talk to it:
+
+* request line + headers (``readuntil(b"\\r\\n\\r\\n")``, size-capped),
+* ``Content-Length`` bodies (read whole or streamed in chunks —
+  ``Transfer-Encoding: chunked`` is refused with ``501``),
+* keep-alive connections (HTTP/1.1 default; ``Connection: close``
+  honoured both ways),
+* JSON responses with explicit ``Content-Length`` and optional
+  ``Retry-After`` (the admission-control and load-shedding header).
+
+Anything smarter — routing, validation, admission — lives in
+:mod:`repro.serve.net.frontend`; this module knows only bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict, Optional, Sequence, Tuple
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: Hard cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+
+class HttpError(Exception):
+    """A request that must be answered with an HTTP error status.
+
+    ``retry_after_s`` (when set) is rendered as a ``Retry-After``
+    header — the contract for 429/503 shedding responses: the client
+    knows the rejection is about *load*, not about its request, and
+    when to come back.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class Request:
+    """One parsed request head (the body stays on the stream)."""
+
+    __slots__ = ("method", "path", "headers", "keep_alive", "body_consumed")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        keep_alive: bool,
+    ):
+        self.method = method
+        self.path = path
+        #: Header names lower-cased; duplicate headers last-wins.
+        self.headers = headers
+        self.keep_alive = keep_alive
+        #: Set once the whole Content-Length body has been read off the
+        #: stream.  A keep-alive connection whose request errored with
+        #: the body only partially consumed cannot be reused — the
+        #: leftover bytes would parse as the next request's head — so
+        #: the front-end closes it.
+        self.body_consumed = False
+
+    @property
+    def content_length(self) -> int:
+        raw = self.headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(400, f"malformed Content-Length: {raw!r}")
+        if length < 0:
+            raise HttpError(400, f"negative Content-Length: {length}")
+        return length
+
+    @property
+    def content_type(self) -> str:
+        # Parameters (charset=...) stripped: routing only needs the type.
+        return self.headers.get("content-type", "").split(";")[0].strip()
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.path})"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request head off the stream.
+
+    Returns ``None`` on a clean EOF between requests (the client hung
+    up a keep-alive connection — not an error); raises
+    :class:`HttpError` for anything malformed.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    try:
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        method, path, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpError(400, f"malformed request line: {head[:64]!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version: {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            501, "Transfer-Encoding is not supported; send Content-Length"
+        )
+    connection = headers.get("connection", "").lower()
+    keep_alive = (
+        connection != "close"
+        if version == "HTTP/1.1"
+        else connection == "keep-alive"
+    )
+    # The path only — query strings and fragments are not part of this
+    # API's routing surface.
+    path = path.split("?", 1)[0].split("#", 1)[0]
+    request = Request(method.upper(), path, headers, keep_alive)
+    if headers.get("content-length", "0").strip() in ("", "0"):
+        # Nothing on the stream to consume: a routing error answered
+        # before any body read still leaves the connection reusable.
+        request.body_consumed = True
+    return request
+
+
+async def read_body(
+    reader: asyncio.StreamReader,
+    request: Request,
+    max_body_bytes: int,
+) -> bytes:
+    """Read the whole ``Content-Length`` body (size-capped)."""
+    length = request.content_length
+    if length > max_body_bytes:
+        raise HttpError(
+            413, f"body of {length} bytes exceeds the {max_body_bytes} cap"
+        )
+    if length == 0:
+        request.body_consumed = True
+        return b""
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HttpError(400, "body shorter than Content-Length")
+    request.body_consumed = True
+    return body
+
+
+async def iter_body_lines(
+    reader: asyncio.StreamReader,
+    request: Request,
+    max_body_bytes: int,
+    chunk_bytes: int = 64 * 1024,
+) -> AsyncIterator[bytes]:
+    """Stream a ``Content-Length`` body line by line without buffering
+    it whole — the transport for NDJSON bulk writes, where the body may
+    be far larger than any single write chunk."""
+    length = request.content_length
+    if length > max_body_bytes:
+        raise HttpError(
+            413, f"body of {length} bytes exceeds the {max_body_bytes} cap"
+        )
+    remaining = length
+    buffer = b""
+    while remaining > 0:
+        chunk = await reader.read(min(chunk_bytes, remaining))
+        if not chunk:
+            raise HttpError(400, "body shorter than Content-Length")
+        remaining -= len(chunk)
+        buffer += chunk
+        *lines, buffer = buffer.split(b"\n")
+        for line in lines:
+            if line.strip():
+                yield line
+    request.body_consumed = True
+    if buffer.strip():
+        yield buffer
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> None:
+    """Serialise one response onto the stream (no drain — the caller
+    drains once per request)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+
+
+def json_body(payload: dict) -> bytes:
+    """Encode a response payload.  ``allow_nan=False`` keeps the wire
+    strict-JSON — non-finite values must be mapped (to ``null``) by the
+    caller before they get here."""
+    return json.dumps(payload, allow_nan=False).encode("utf-8")
+
+
+def error_body(status: int, message: str) -> bytes:
+    return json_body(
+        {
+            "error": STATUS_PHRASES.get(status, "Unknown"),
+            "status": int(status),
+            "message": str(message),
+        }
+    )

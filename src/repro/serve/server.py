@@ -129,9 +129,22 @@ class FerexServer:
         self._republish_error: Optional[BaseException] = None
         self.stats = ServerStats()
         self._cache = QueryCache(cache_size)
-        # The autoscaling signal: stats snapshots read the coalescer's
-        # pending-queue depth live through this probe.
+        # The autoscaling signals: stats snapshots read the coalescer's
+        # pending-queue depth (and its EWMAs / deadline drops) live
+        # through these probes.
         self.stats.queue_depth_probe = lambda: self._coalescer.n_pending
+        self.stats.register_gauge(
+            "coalescer_ewma_service_s",
+            lambda: self._coalescer.ewma_service_s,
+        )
+        self.stats.register_gauge(
+            "coalescer_ewma_gap_s",
+            lambda: self._coalescer.ewma_gap_s,
+        )
+        self.stats.register_gauge(
+            "n_deadline_drops",
+            lambda: self._coalescer.n_deadline_drops,
+        )
         self._coalescer = RequestCoalescer(
             self._dispatch,
             max_batch_size=max_batch_size,
@@ -205,13 +218,24 @@ class FerexServer:
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
-    async def search(self, query: np.ndarray, k: int = 1) -> SearchOutcome:
+    async def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        deadline: Optional[float] = None,
+    ) -> SearchOutcome:
         """Serve one query: a :class:`SearchOutcome` of ``(k,)`` ids and
         distances, bit-identical to ``index.search(query[None], k)``.
 
         Concurrent callers coalesce into micro-batches automatically;
         repeated queries within one write-generation are answered from
         the LRU cache.
+
+        ``deadline`` is an absolute ``loop.time()`` instant propagated
+        into the coalescer: a request still parked when it passes is
+        rejected with :class:`~repro.serve.coalescer.
+        DeadlineExceededError` instead of being dispatched.  Cache hits
+        answer regardless (they are free).
         """
         if self._closed:
             raise RuntimeError("server is closed")
@@ -247,7 +271,9 @@ class FerexServer:
                     ids=entry[0].copy(), distances=entry[1].copy()
                 )
         try:
-            ids, distances = await self._coalescer.submit(query, k)
+            ids, distances = await self._coalescer.submit(
+                query, k, deadline=deadline
+            )
         except Exception:
             self.stats.record_error()
             raise
@@ -255,7 +281,10 @@ class FerexServer:
         return SearchOutcome(ids=ids, distances=distances)
 
     async def search_many(
-        self, queries: np.ndarray, k: int = 1
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        deadline: Optional[float] = None,
     ) -> SearchOutcome:
         """Serve a whole batch concurrently (one task per query, so the
         batch coalesces with any other traffic in flight); returns
@@ -275,7 +304,7 @@ class FerexServer:
             async with self._router.read() as replica:
                 return replica.index.search(queries, k=k)
         results = await asyncio.gather(
-            *(self.search(query, k) for query in queries)
+            *(self.search(query, k, deadline=deadline) for query in queries)
         )
         return SearchOutcome(
             ids=np.stack([r.ids for r in results]),

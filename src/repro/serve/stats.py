@@ -20,6 +20,17 @@ from typing import Callable, Optional
 from ..eval.reporting import format_table, summarize_latencies
 
 
+def _json_int(value) -> int:
+    """Coerce a counter-like value (incl. numpy integers) to plain int."""
+    return int(value)
+
+
+def _json_float(value) -> float:
+    """Coerce a measurement (incl. numpy floats; None -> 0.0) to plain
+    float."""
+    return 0.0 if value is None else float(value)
+
+
 class ServerStats:
     """Rolling serving metrics: qps, batch histogram, latency summary.
 
@@ -61,7 +72,21 @@ class ServerStats:
         #: Optional gauge probe returning the coalescer's pending-queue
         #: depth — the autoscaling signal; the server wires it up.
         self.queue_depth_probe: Optional[Callable[[], int]] = None
+        #: Extra named gauges folded into every snapshot (the server
+        #: registers the coalescer EWMAs and deadline-drop count here).
+        self._gauges: dict = {}
         self._started = self._clock()
+
+    def register_gauge(
+        self, name: str, probe: Callable[[], object]
+    ) -> None:
+        """Fold ``probe()`` into every :meth:`snapshot` under ``name``.
+
+        The value is coerced to a plain int/float at snapshot time
+        (``None`` reads as ``0.0``), preserving the snapshot's
+        ``json.dumps``-without-encoders guarantee.
+        """
+        self._gauges[str(name)] = probe
 
     # ------------------------------------------------------------------
     # Recording
@@ -137,27 +162,46 @@ class ServerStats:
         return int(probe()) if probe is not None else 0
 
     def snapshot(self) -> dict:
-        """One JSON-ready view of every counter, histogram and summary."""
-        return {
-            "elapsed_s": self.elapsed,
-            "n_requests": self.n_requests,
-            "qps": self.qps,
-            "n_cache_hits": self.n_cache_hits,
-            "cache_hit_rate": self.cache_hit_rate,
-            "n_batches": self.n_batches,
-            "n_errors": self.n_errors,
-            "n_dispatch_cache_hits": self.n_dispatch_cache_hits,
-            "n_dispatch_deduped": self.n_dispatch_deduped,
-            "n_republishes": self.n_republishes,
-            "n_reconfigures": self.n_reconfigures,
-            "coalescer_queue_depth": self.coalescer_queue_depth,
-            "mean_batch_size": self.mean_batch_size,
+        """One JSON-ready view of every counter, histogram and summary.
+
+        Every value — counters, the histogram buckets, the queue-depth
+        gauge, registered gauges, the latency summary — is a plain
+        ``int``/``float``/``str``, so the ``/metrics`` endpoint and
+        bench artifacts can ``json.dumps`` the snapshot without custom
+        encoders, whatever (numpy-typed or ``None``) the recorders and
+        probes supplied."""
+        latency = {
+            key: _json_int(value) if key == "count" else _json_float(value)
+            for key, value in summarize_latencies(self._latencies).items()
+        }
+        snap = {
+            "elapsed_s": _json_float(self.elapsed),
+            "n_requests": _json_int(self.n_requests),
+            "qps": _json_float(self.qps),
+            "n_cache_hits": _json_int(self.n_cache_hits),
+            "cache_hit_rate": _json_float(self.cache_hit_rate),
+            "n_batches": _json_int(self.n_batches),
+            "n_errors": _json_int(self.n_errors),
+            "n_dispatch_cache_hits": _json_int(self.n_dispatch_cache_hits),
+            "n_dispatch_deduped": _json_int(self.n_dispatch_deduped),
+            "n_republishes": _json_int(self.n_republishes),
+            "n_reconfigures": _json_int(self.n_reconfigures),
+            "coalescer_queue_depth": _json_int(self.coalescer_queue_depth),
+            "mean_batch_size": _json_float(self.mean_batch_size),
             "batch_size_histogram": {
-                str(size): count
+                str(_json_int(size)): _json_int(count)
                 for size, count in sorted(self.batch_sizes.items())
             },
-            "latency": summarize_latencies(self._latencies),
+            "latency": latency,
         }
+        for name, probe in self._gauges.items():
+            value = probe()
+            snap[name] = (
+                _json_int(value)
+                if isinstance(value, int) and not isinstance(value, bool)
+                else _json_float(value)
+            )
+        return snap
 
     def reset(self) -> None:
         """Zero every counter and restart the qps window."""

@@ -141,6 +141,36 @@ class TestLatencySummaries:
         assert summary["p50"] <= summary["p95"] <= summary["p99"]
         assert summary["max"] == pytest.approx(0.4)
 
+    def test_percentiles_knob_selects_the_quantiles(self):
+        samples = [i / 1000.0 for i in range(100)]
+        summary = summarize_latencies(
+            samples, percentiles=(50.0, 90.0, 99.9)
+        )
+        assert list(summary) == [
+            "count", "mean", "p50", "p90", "p99.9", "max"
+        ]
+        assert summary["p50"] == pytest.approx(
+            percentile(samples, 50.0)
+        )
+        assert summary["p90"] == pytest.approx(
+            percentile(samples, 90.0)
+        )
+        assert summary["p99.9"] == pytest.approx(
+            percentile(samples, 99.9)
+        )
+        # Integral quantiles keep the bare pN key whether passed as
+        # int or float.
+        assert "p95" in summarize_latencies(samples, percentiles=(95,))
+
+    def test_percentiles_knob_shapes_the_empty_summary(self):
+        summary = summarize_latencies([], percentiles=(25.0, 75.0))
+        assert list(summary) == ["count", "mean", "p25", "p75", "max"]
+        assert all(value == 0 for value in summary.values())
+
+    def test_duplicate_percentiles_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            summarize_latencies([0.1], percentiles=(95, 95.0))
+
 
 class TestEngineering:
     def test_prefixes(self):

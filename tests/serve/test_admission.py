@@ -1,0 +1,82 @@
+"""AdmissionController: the bounded pending budget and its accounting."""
+
+import json
+
+import pytest
+
+from repro.serve.net import AdmissionController, AdmissionError
+
+
+def test_acquire_release_accounting():
+    admission = AdmissionController(max_pending=4)
+    admission.try_acquire(3)
+    assert admission.pending == 3
+    assert admission.peak_pending == 3
+    admission.release(2)
+    assert admission.pending == 1
+    admission.try_acquire(1)
+    assert admission.pending == 2
+    assert admission.peak_pending == 3
+    assert admission.n_admitted == 4
+
+
+def test_batch_admission_is_all_or_nothing():
+    admission = AdmissionController(max_pending=4)
+    admission.try_acquire(3)
+    with pytest.raises(AdmissionError) as excinfo:
+        admission.try_acquire(2)
+    # The reject didn't partially consume budget...
+    assert admission.pending == 3
+    assert admission.n_rejected == 2
+    assert excinfo.value.retry_after_s == admission.retry_after_s
+    # ...and a batch that fits is still welcome.
+    admission.try_acquire(1)
+    assert admission.pending == 4
+
+
+def test_admit_context_releases_on_error():
+    admission = AdmissionController(max_pending=2)
+    with pytest.raises(RuntimeError, match="boom"):
+        with admission.admit(2):
+            assert admission.pending == 2
+            raise RuntimeError("boom")
+    assert admission.pending == 0
+    with admission.admit(1):
+        assert admission.pending == 1
+    assert admission.pending == 0
+
+
+def test_over_release_is_an_error():
+    admission = AdmissionController(max_pending=2)
+    admission.try_acquire(1)
+    with pytest.raises(RuntimeError, match="exceeds"):
+        admission.release(2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_pending=0)
+    with pytest.raises(ValueError):
+        AdmissionController(retry_after_s=0.0)
+    admission = AdmissionController()
+    with pytest.raises(ValueError):
+        admission.try_acquire(0)
+    with pytest.raises(ValueError):
+        admission.release(0)
+
+
+def test_snapshot_is_json_ready():
+    admission = AdmissionController(max_pending=3, retry_after_s=0.25)
+    admission.try_acquire(2)
+    with pytest.raises(AdmissionError):
+        admission.try_acquire(2)
+    snap = admission.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap == {
+        "max_pending": 3,
+        "pending": 2,
+        "peak_pending": 2,
+        "n_admitted": 2,
+        "n_rejected": 2,
+        "retry_after_s": 0.25,
+    }

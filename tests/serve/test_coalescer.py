@@ -5,7 +5,7 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.serve import RequestCoalescer
+from repro.serve import DeadlineExceededError, RequestCoalescer
 
 
 class Recorder:
@@ -311,5 +311,100 @@ def test_knob_validation():
             RequestCoalescer(recorder, max_batch_size=0)
         with pytest.raises(ValueError):
             RequestCoalescer(recorder, max_wait_ms=-1)
+
+    asyncio.run(main())
+
+
+def test_expired_deadline_rejected_at_submit():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=4, max_wait_ms=10
+        )
+        loop = asyncio.get_running_loop()
+        with pytest.raises(DeadlineExceededError):
+            await coalescer.submit(
+                np.zeros(3, dtype=int), 1, deadline=loop.time() - 0.001
+            )
+        # Nothing was parked, nothing dispatched, nothing counted as a
+        # queue drop (the request never entered the queue).
+        assert coalescer.n_pending == 0
+        assert recorder.batches == []
+        assert coalescer.n_deadline_drops == 0
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_deadline_expiring_while_parked_is_dropped_at_flush():
+    recorder = Recorder()
+
+    async def main():
+        # The flush window (30 ms) far exceeds the 2 ms deadline: the
+        # doomed request is parked alive, then expires before dispatch.
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=16, max_wait_ms=30
+        )
+        loop = asyncio.get_running_loop()
+        doomed = asyncio.ensure_future(
+            coalescer.submit(
+                np.zeros(3, dtype=int), 1, deadline=loop.time() + 0.002
+            )
+        )
+        patient = asyncio.ensure_future(
+            coalescer.submit(np.full(3, 5), 1)
+        )
+        with pytest.raises(DeadlineExceededError):
+            await doomed
+        ids, _ = await patient
+        # The survivor rode a batch that no longer carried the stale
+        # row: dead work never reaches the index.
+        assert ids.tolist() == [15]
+        assert len(recorder.batches) == 1
+        assert recorder.batches[0][0].shape == (1, 3)
+        assert coalescer.n_deadline_drops == 1
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_unexpired_deadline_is_served_normally():
+    recorder = Recorder()
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=4, max_wait_ms=1
+        )
+        loop = asyncio.get_running_loop()
+        ids, _ = await coalescer.submit(
+            np.full(3, 2), 1, deadline=loop.time() + 10.0
+        )
+        assert ids.tolist() == [6]
+        assert coalescer.n_deadline_drops == 0
+        await coalescer.close()
+
+    asyncio.run(main())
+
+
+def test_service_and_gap_ewmas_are_none_until_observed():
+    recorder = Recorder(delay_s=0.001)
+
+    async def main():
+        coalescer = RequestCoalescer(
+            recorder, max_batch_size=2, max_wait_ms=50
+        )
+        assert coalescer.ewma_service_s is None
+        assert coalescer.ewma_gap_s is None
+        await asyncio.gather(
+            coalescer.submit(np.zeros(3, dtype=int), 1),
+            coalescer.submit(np.full(3, 1), 1),
+        )
+        assert coalescer.ewma_service_s is not None
+        assert coalescer.ewma_service_s > 0.0
+        # Two arrivals -> one inter-arrival gap observed.
+        assert coalescer.ewma_gap_s is not None
+        assert coalescer.ewma_gap_s >= 0.0
+        await coalescer.close()
 
     asyncio.run(main())

@@ -1,0 +1,302 @@
+"""End-to-end bit-identity over the wire: HTTP answers equal direct
+``FerexIndex`` search — across metrics x bits, under concurrent
+writes, and across a mid-load online reconfigure."""
+
+import asyncio
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.index import FerexIndex
+from repro.serve import FerexServer
+from repro.serve.net import HttpClient, NetFrontend
+
+DIMS = 8
+CONFIGS = list(
+    itertools.product(["hamming", "manhattan", "euclidean"], [1, 2, 3])
+)
+
+
+def build_index(metric, bits, stored, seed=7):
+    index = FerexIndex(
+        dims=DIMS, metric=metric, bits=bits, bank_rows=16, seed=seed
+    )
+    index.add(stored)
+    return index
+
+
+def wire_rows(payload):
+    """Decode a wire search/search_batch payload back to arrays (the
+    strict-JSON ``null`` padding maps back to ``inf``)."""
+    ids = np.asarray(payload["ids"], dtype=np.int64)
+    distances = np.asarray(
+        [
+            [np.inf if d is None else d for d in row]
+            if isinstance(row, list)
+            else (np.inf if row is None else row)
+            for row in payload["distances"]
+        ],
+        dtype=float,
+    )
+    return ids, distances
+
+
+@pytest.mark.parametrize("metric,bits", CONFIGS)
+def test_wire_batched_search_is_bit_identical(rng, metric, bits):
+    """The acceptance sweep: batched wire results equal direct
+    ``FerexIndex.search`` for the same queries at every config."""
+    stored = rng.integers(0, 1 << bits, size=(40, DIMS))
+    queries = rng.integers(0, 1 << bits, size=(12, DIMS))
+    reference = build_index(metric, bits, stored).search(queries, k=3)
+
+    async def main():
+        index = build_index(metric, bits, stored)
+        async with FerexServer(
+            index, max_batch_size=8, max_wait_ms=1.0, cache_size=0
+        ) as server:
+            async with NetFrontend(server) as frontend:
+                async with await HttpClient.connect(
+                    "127.0.0.1", frontend.bound_port
+                ) as client:
+                    # The whole batch in one wire call...
+                    response = await client.request(
+                        "POST",
+                        "/v1/search_batch",
+                        json_body={"queries": queries.tolist(), "k": 3},
+                    )
+                    assert response.status == 200
+                    ids, distances = wire_rows(response.json())
+                    assert np.array_equal(ids, reference.ids)
+                    assert np.array_equal(distances, reference.distances)
+                    # ...and single-query calls, coalesced across
+                    # concurrent connections.
+                    clients = [
+                        await HttpClient.connect(
+                            "127.0.0.1", frontend.bound_port
+                        )
+                        for _ in range(4)
+                    ]
+                    try:
+                        responses = await asyncio.gather(
+                            *(
+                                clients[row % 4].request(
+                                    "POST",
+                                    "/v1/search",
+                                    json_body={
+                                        "query": query.tolist(),
+                                        "k": 3,
+                                    },
+                                )
+                                for row, query in list(
+                                    enumerate(queries)
+                                )[:4]
+                            )
+                        )
+                    finally:
+                        for c in clients:
+                            await c.close()
+                    for row, response in enumerate(responses):
+                        assert response.status == 200
+                        ids, distances = wire_rows(response.json())
+                        assert np.array_equal(ids, reference.ids[row])
+                        assert np.array_equal(
+                            distances, reference.distances[row]
+                        )
+
+    asyncio.run(main())
+
+
+def test_wire_parity_under_concurrent_writes(rng):
+    """Searches interleaved with wire add/remove waves: after every
+    write wave, wire answers equal the primary's direct answers."""
+    bits = 2
+    stored = rng.integers(0, 1 << bits, size=(40, DIMS))
+    queries = rng.integers(0, 1 << bits, size=(10, DIMS))
+
+    async def main():
+        index = build_index("hamming", bits, stored)
+        async with FerexServer(
+            index, max_batch_size=8, max_wait_ms=0.5, cache_size=64
+        ) as server:
+            async with NetFrontend(server) as frontend:
+                async with await HttpClient.connect(
+                    "127.0.0.1", frontend.bound_port
+                ) as writer_client:
+                    async with await HttpClient.connect(
+                        "127.0.0.1", frontend.bound_port
+                    ) as reader_client:
+                        for wave in range(3):
+                            extra = rng.integers(
+                                0, 1 << bits, size=(3, DIMS)
+                            )
+                            # Concurrent: a batch search races the add.
+                            search_task = asyncio.ensure_future(
+                                reader_client.request(
+                                    "POST",
+                                    "/v1/search_batch",
+                                    json_body={
+                                        "queries": queries.tolist(),
+                                        "k": 3,
+                                    },
+                                )
+                            )
+                            add = await writer_client.request(
+                                "POST",
+                                "/v1/add",
+                                json_body={"vectors": extra.tolist()},
+                            )
+                            assert add.status == 200
+                            raced = await search_task
+                            assert raced.status == 200
+                            new_ids = add.json()["ids"]
+                            removed = await writer_client.request(
+                                "POST",
+                                "/v1/remove",
+                                json_body={"ids": [new_ids[0]]},
+                            )
+                            assert removed.json()["removed"] == 1
+                            # Post-write settled read == direct search.
+                            settled = await reader_client.request(
+                                "POST",
+                                "/v1/search_batch",
+                                json_body={
+                                    "queries": queries.tolist(),
+                                    "k": 3,
+                                },
+                            )
+                            ids, distances = wire_rows(settled.json())
+                            direct = index.search(queries, k=3)
+                            assert np.array_equal(ids, direct.ids)
+                            assert np.array_equal(
+                                distances, direct.distances
+                            )
+
+    asyncio.run(main())
+
+
+def test_wire_parity_across_midload_reconfigure(rng):
+    """An online ``/v1/reconfigure`` under live wire traffic: every
+    in-flight request is answered (no drops, no errors beyond the
+    expected), and post-reconfigure wire answers equal direct search at
+    the new config."""
+    stored = rng.integers(0, 2, size=(40, DIMS))
+    queries = rng.integers(0, 2, size=(16, DIMS))
+
+    async def main():
+        index = build_index("hamming", 1, stored)
+        async with FerexServer(
+            index, max_batch_size=4, max_wait_ms=0.5, cache_size=32
+        ) as server:
+            async with NetFrontend(server) as frontend:
+                port = frontend.bound_port
+                # One client per in-flight request: HTTP/1.1 without
+                # pipelining serialises requests per connection.
+                clients = [
+                    await HttpClient.connect("127.0.0.1", port)
+                    for _ in range(len(queries) + 1)
+                ]
+                try:
+                    traffic = [
+                        asyncio.ensure_future(
+                            clients[row].request(
+                                "POST",
+                                "/v1/search",
+                                json_body={
+                                    "query": query.tolist(),
+                                    "k": 2,
+                                },
+                            )
+                        )
+                        for row, query in enumerate(queries)
+                    ]
+                    # Mid-load: re-voltage to 3-bit manhattan.
+                    reconfig = await clients[len(queries)].request(
+                        "POST",
+                        "/v1/reconfigure",
+                        json_body={"bits": 3, "metric": "manhattan"},
+                    )
+                    assert reconfig.status == 200
+                    responses = await asyncio.gather(*traffic)
+                    # Every request answered, each bit-identical to a
+                    # direct search at one of the two configs (the
+                    # write is atomic: no mixed answers).
+                    before = build_index("hamming", 1, stored).search(
+                        queries, k=2
+                    )
+                    after = index.search(queries, k=2)
+                    for row, response in enumerate(responses):
+                        assert response.status == 200
+                        ids, distances = wire_rows(response.json())
+                        matches_before = np.array_equal(
+                            ids, before.ids[row]
+                        ) and np.array_equal(
+                            distances, before.distances[row]
+                        )
+                        matches_after = np.array_equal(
+                            ids, after.ids[row]
+                        ) and np.array_equal(
+                            distances, after.distances[row]
+                        )
+                        assert matches_before or matches_after
+                    # Settled traffic is served at the new config.
+                    settled = await clients[0].request(
+                        "POST",
+                        "/v1/search_batch",
+                        json_body={"queries": queries.tolist(), "k": 2},
+                    )
+                    ids, distances = wire_rows(settled.json())
+                    assert np.array_equal(ids, after.ids)
+                    assert np.array_equal(distances, after.distances)
+                    assert index.bits == 3
+                finally:
+                    for client in clients:
+                        await client.close()
+
+    asyncio.run(main())
+
+
+def test_streamed_ndjson_add_matches_direct_add(rng):
+    """A chunked NDJSON bulk load lands bit-identically to the same
+    rows added directly (chunk boundaries exercised)."""
+    bits = 2
+    stored = rng.integers(0, 1 << bits, size=(10, DIMS))
+    bulk = rng.integers(0, 1 << bits, size=(23, DIMS))
+    queries = rng.integers(0, 1 << bits, size=(8, DIMS))
+
+    reference = build_index("hamming", bits, stored)
+    reference.add(bulk)
+    expected = reference.search(queries, k=4)
+
+    async def main():
+        index = build_index("hamming", bits, stored)
+        async with FerexServer(index, max_wait_ms=0.5) as server:
+            async with NetFrontend(
+                server, write_chunk_rows=5
+            ) as frontend:
+                async with await HttpClient.connect(
+                    "127.0.0.1", frontend.bound_port
+                ) as client:
+                    body = b"\n".join(
+                        json.dumps({"vector": row.tolist()}).encode()
+                        for row in bulk
+                    )
+                    response = await client.request(
+                        "POST",
+                        "/v1/add",
+                        body=body,
+                        content_type="application/x-ndjson",
+                    )
+                    assert response.status == 200
+                    assert response.json()["count"] == len(bulk)
+                    served = await client.request(
+                        "POST",
+                        "/v1/search_batch",
+                        json_body={"queries": queries.tolist(), "k": 4},
+                    )
+                    ids, distances = wire_rows(served.json())
+                    assert np.array_equal(ids, expected.ids)
+                    assert np.array_equal(distances, expected.distances)
+
+    asyncio.run(main())
