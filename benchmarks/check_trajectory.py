@@ -1,0 +1,178 @@
+"""Bench-trajectory gate: fail CI when a headline ratio regresses.
+
+The bench suite's static floors (">= 2x", ">= 0.95 recall") catch
+collapses but not erosion — a speedup can drift from 16x to 3x over a
+few PRs without ever tripping its floor.  This gate compares the
+freshly-generated ``results/BENCH_*.json`` artifacts against the ones
+the previous successful main-branch run uploaded and fails on a >30%
+drop in any recorded **headline ratio**.
+
+Only dimensionless higher-is-better leaves are compared — keys whose
+final name contains ``speedup``, ``recall`` or ``ratio``.  Raw q/s and
+latency numbers are deliberately ignored: they measure the runner as
+much as the code, while paired ratios (measured same-process,
+same-machine) transfer across runners.  Floor *constants* (keys
+prefixed ``min_``/``max_``/``headline_``) are configuration, not
+measurements, and are skipped too.
+
+A missing baseline (first run on a branch, expired artifacts) is a
+clean skip, not a failure — the gate tightens once a baseline exists.
+
+Usage::
+
+    python -m benchmarks.check_trajectory BASELINE_DIR CURRENT_DIR \
+        [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from typing import Dict
+
+#: Final-key pattern marking a comparable higher-is-better headline.
+#: Word-bounded on underscores: ``recall_at_10`` and ``hit_ratio``
+#: match, ``generation`` (which merely contains "ratio") does not.
+HEADLINE_KEY = re.compile(
+    r"(?:^|_)(speedup|recall|ratio)(?:_|$)", re.IGNORECASE
+)
+
+#: Final-key prefixes marking configuration constants, not measurements.
+CONSTANT_PREFIXES = ("min_", "max_", "headline_")
+
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def collect_headlines(payload, prefix: str = "") -> Dict[str, float]:
+    """Flatten a bench JSON payload to ``{path: value}`` for every
+    numeric leaf whose final dict key names a headline ratio."""
+    found: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                name = str(key)
+                if HEADLINE_KEY.search(name) and not name.startswith(
+                    CONSTANT_PREFIXES
+                ):
+                    found[path] = float(value)
+            else:
+                found.update(collect_headlines(value, path))
+    elif isinstance(payload, list):
+        for i, value in enumerate(payload):
+            found.update(collect_headlines(value, f"{prefix}[{i}]"))
+    return found
+
+
+def load_headlines(directory: pathlib.Path) -> Dict[str, float]:
+    """Headline ratios across every ``BENCH_*.json`` in a directory,
+    keyed ``<file>:<path>``."""
+    found: Dict[str, float] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"note: skipping unreadable {path.name}: {exc}")
+            continue
+        for key, value in collect_headlines(payload).items():
+            found[f"{path.name}:{key}"] = value
+    return found
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    max_regression: float,
+) -> list:
+    """Regressions among metrics present on both sides: a current
+    value below ``baseline * (1 - max_regression)``.  Metrics that
+    appear or disappear are reported informationally by ``main`` but
+    never fail the gate — benches are allowed to evolve."""
+    failures = []
+    for key in sorted(set(baseline) & set(current)):
+        floor = baseline[key] * (1.0 - max_regression)
+        if current[key] < floor:
+            failures.append(
+                {
+                    "metric": key,
+                    "baseline": baseline[key],
+                    "current": current[key],
+                    "floor": floor,
+                }
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on >max-regression drops in bench headline "
+        "ratios vs a baseline artifact directory."
+    )
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("current_dir", type=pathlib.Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional drop per metric (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current_dir.is_dir():
+        print(f"error: current dir {args.current_dir} does not exist")
+        return 2
+    if not args.baseline_dir.is_dir():
+        print(
+            f"no baseline at {args.baseline_dir} — first run or expired "
+            "artifacts; trajectory gate skipped"
+        )
+        return 0
+
+    baseline = load_headlines(args.baseline_dir)
+    current = load_headlines(args.current_dir)
+    if not baseline:
+        print("baseline holds no BENCH_*.json headlines; gate skipped")
+        return 0
+
+    shared = sorted(set(baseline) & set(current))
+    print(
+        f"comparing {len(shared)} headline metrics "
+        f"(baseline {len(baseline)}, current {len(current)}, "
+        f"max regression {args.max_regression:.0%})"
+    )
+    for key in shared:
+        drift = (
+            (current[key] - baseline[key]) / baseline[key]
+            if baseline[key]
+            else 0.0
+        )
+        print(
+            f"  {key}: {baseline[key]:.4g} -> {current[key]:.4g} "
+            f"({drift:+.1%})"
+        )
+    for key in sorted(set(baseline) - set(current)):
+        print(f"  note: {key} left the bench suite")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  note: {key} is new (no baseline)")
+
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        print(f"\nFAIL: {len(failures)} headline regression(s):")
+        for failure in failures:
+            print(
+                f"  {failure['metric']}: {failure['baseline']:.4g} -> "
+                f"{failure['current']:.4g} "
+                f"(floor {failure['floor']:.4g})"
+            )
+        return 1
+    print("trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,11 @@
 (KNN, HDC inference, Monte Carlo sweeps) searches through; the
 :class:`SearchBackend` protocol makes the execution substrate pluggable
 (sharded FeReX banks, exact software, GPU roofline baseline, tiered
-coarse-to-fine).  Configuration is first-class: every backend — and
-every ferex bank — carries a :class:`repro.core.BankConfig`, and
-:meth:`FerexIndex.reconfigure` re-voltages banks online.
+coarse-to-fine, cluster-routed bank selection).  Configuration is
+first-class: every backend — and every ferex bank — carries a
+:class:`repro.core.BankConfig`, and :meth:`FerexIndex.reconfigure`
+re-voltages banks online (:meth:`FerexIndex.reconfigure_routing` moves
+the routed backend's probe width and cluster count the same way).
 """
 
 from ..core.config import BankConfig, as_bank_config, quantize_codes
@@ -19,6 +21,7 @@ from .backends import (
     TieredBackend,
 )
 from .index import FerexIndex, SearchOutcome, state_digest
+from .routing import RoutedBackend
 
 __all__ = [
     "BACKENDS",
@@ -27,6 +30,7 @@ __all__ = [
     "FerexBackend",
     "FerexIndex",
     "GPUBackend",
+    "RoutedBackend",
     "SearchBackend",
     "SearchOutcome",
     "TieredBackend",

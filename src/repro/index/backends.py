@@ -165,6 +165,21 @@ class ExactBackend:
         )
 
 
+def metric_element_lut(metric: DistanceMetric, bits: int) -> np.ndarray:
+    """(n_values, n_values) per-element metric distance table — the
+    LUT a :class:`LUTKernel` gathers from when stored codes are their
+    own symbol indices.  Shared by the GPU backend's compiled search
+    and the routed backend's centroid pass."""
+    n_values = 1 << bits
+    return np.array(
+        [
+            [metric.element(q, s, bits) for s in range(n_values)]
+            for q in range(n_values)
+        ],
+        dtype=np.int64,
+    )
+
+
 class GPUBackend(ExactBackend):
     """GPU-style distance search: the quantized kernel's gather+reduce
     executed on an optional accelerator array module, plus a roofline
@@ -240,17 +255,7 @@ class GPUBackend(ExactBackend):
     def _element_lut(self) -> np.ndarray:
         """(n_values, n_values) per-element metric distance table — the
         GPU kernel's LUT (stored codes are their own symbol indices)."""
-        n_values = self.config.n_values
-        return np.array(
-            [
-                [
-                    self.metric.element(q, s, self.bits)
-                    for s in range(n_values)
-                ]
-                for q in range(n_values)
-            ],
-            dtype=np.int64,
-        )
+        return metric_element_lut(self.metric, self.bits)
 
     def _live_kernel(self) -> tuple:
         """(live positions, kernel) for the current live set, rebuilt
@@ -637,7 +642,9 @@ class FerexBackend:
             np.take_along_axis(dist, order, axis=1),
         )
 
-    def shortlist(self, queries: np.ndarray, c: int) -> np.ndarray:
+    def shortlist(
+        self, queries: np.ndarray, c: int, with_units: bool = False
+    ):
         """(n, c) nearest global positions by *row-current readout*:
         one array evaluation per bank, candidates ordered by (unit
         current, global position).
@@ -650,6 +657,10 @@ class FerexBackend:
         ordering is exactly the sequence those ``c`` LTA rounds would
         emit, at the cost of a single evaluation.  ``c`` must not
         exceed the live row count.
+
+        ``with_units=True`` additionally returns the (n, c) unit
+        currents backing the ordering — callers merging shortlists
+        across shards (the routed backend) need them.
         """
         units: List[np.ndarray] = []
         positions: List[np.ndarray] = []
@@ -676,7 +687,13 @@ class FerexBackend:
         # in order), so the (value, column)-stable partial selection
         # tie-breaks on position — matching the lexsort merge and the
         # exact backend.
-        return all_positions[_top_c_stable(all_units, c)]
+        picks = _top_c_stable(all_units, c)
+        if with_units:
+            return (
+                all_positions[picks],
+                np.take_along_axis(all_units, picks, axis=1),
+            )
+        return all_positions[picks]
 
 
 def _top_c_stable(units: np.ndarray, c: int) -> np.ndarray:

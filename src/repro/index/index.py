@@ -59,6 +59,7 @@ from .backends import (
     SearchBackend,
     TieredBackend,
 )
+from .routing import RoutedBackend
 
 #: Bumped when the on-disk layout changes.  Version 2 added
 #: ``bank_configs`` (heterogeneous per-bank voltage configurations) and
@@ -126,7 +127,9 @@ class FerexIndex:
         ``"ferex"`` (sharded array simulation — the default), ``"exact"``
         (software reference), ``"gpu"`` (exact winners + roofline
         estimates), ``"tiered"`` (low-bit coarse pass + full-precision
-        rescore), or a ready :class:`SearchBackend` instance.
+        rescore), ``"routed"`` (cluster-routed bank selection — queries
+        probe only the ``top_p`` nearest clusters' banks), or a ready
+        :class:`SearchBackend` instance.
     bank_rows:
         Shard height: vectors per physical array bank (ferex backend).
     encoder / seed:
@@ -205,7 +208,7 @@ class FerexIndex:
             raise ValueError(
                 f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
             )
-        if backend in ("ferex", "tiered"):
+        if backend in ("ferex", "tiered", "routed"):
             return BACKENDS[backend](
                 self._config,
                 dims=self.dims,
@@ -253,6 +256,14 @@ class FerexIndex:
     def ntotal(self) -> int:
         """Number of live (searchable) vectors."""
         return int(self._alive.sum())
+
+    @property
+    def last_routing(self) -> Optional[dict]:
+        """Honest routing accounting for the most recent search on a
+        routed backend (probed clusters, scanned-row fraction, forced
+        probe expansions); ``None`` for other backends or before any
+        search."""
+        return getattr(self._backend, "last_routing", None)
 
     @property
     def n_banks(self) -> int:
@@ -563,6 +574,46 @@ class FerexIndex:
         )
         return config
 
+    def reconfigure_routing(
+        self,
+        top_p: Optional[int] = None,
+        n_clusters: Optional[int] = None,
+    ) -> "tuple[int, int]":
+        """Online routing reconfigure (routed backend only): move the
+        probe width ``top_p`` (instant — a search-time knob) and/or the
+        cluster count ``n_clusters`` (re-trains k-means on the live set
+        and re-pins every cluster to banks).  Returns the effective
+        ``(top_p, n_clusters)``.
+
+        Ids, positions and the stored set are untouched either way; the
+        write generation bumps, so serving-layer caches (keyed on it)
+        never serve a result routed under the old geometry.  Driven via
+        :meth:`repro.serve.FerexServer.reconfigure_routing` it flows
+        through the single-writer + pool-republish path, safe under
+        live traffic.
+        """
+        self._check_writable()
+        if top_p is None and n_clusters is None:
+            raise ValueError("pass top_p and/or n_clusters")
+        if not isinstance(self._backend, RoutedBackend):
+            raise ValueError(
+                "routing reconfigure needs the routed backend, not "
+                f"{type(self._backend).__name__}"
+            )
+        effective = self._backend.reconfigure_routing(
+            top_p=top_p, n_clusters=n_clusters
+        )
+        self._backend_options["top_p"] = effective[0]
+        self._backend_options["n_clusters"] = effective[1]
+        self._note_mutation(
+            b"reroute",
+            json.dumps(
+                {"top_p": effective[0], "n_clusters": effective[1]},
+                sort_keys=True,
+            ).encode(),
+        )
+        return effective
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -725,10 +776,19 @@ class FerexIndex:
         if self._backend_kind is None:
             raise ValueError(
                 "only index-constructed backends (backend='ferex'/'exact'/"
-                "'gpu'/'tiered') can be exported; this index wraps a "
-                f"caller-supplied {type(self._backend).__name__} instance "
-                "whose configuration the index-level metadata cannot see"
+                "'gpu'/'tiered'/'routed') can be exported; this index "
+                f"wraps a caller-supplied {type(self._backend).__name__} "
+                "instance whose configuration the index-level metadata "
+                "cannot see"
             )
+        # Backends may carry *derived* configuration a snapshot cannot
+        # re-derive (the routed backend's trained centroids depend on
+        # insertion history); an ``export_options`` hook folds it into
+        # the persisted options so replicas rebuild identically.
+        options = dict(self._backend_options)
+        export = getattr(self._backend, "export_options", None)
+        if export is not None:
+            options.update(export())
         return {
             "format_version": _FORMAT_VERSION,
             "dims": self.dims,
@@ -737,7 +797,7 @@ class FerexIndex:
             "backend": self._backend_kind,
             "bank_rows": self.bank_rows,
             "bank_configs": self._bank_config_records(),
-            "backend_options": self._backend_options,
+            "backend_options": options,
             "encoder": self.encoder,
             "seed": self.seed,
             "next_id": self._next_id,
@@ -846,7 +906,7 @@ class FerexIndex:
         ids, liveness, and the full configuration (metric, bits,
         per-bank configs, encoding mode, bank geometry, variation
         seed).  Only backends the index constructed itself (a registry
-        kind: ferex/exact/gpu/tiered) can be persisted — see
+        kind: ferex/exact/gpu/tiered/routed) can be persisted — see
         :meth:`export_state`.
         """
         meta, arrays = self.export_state()

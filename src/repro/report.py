@@ -42,6 +42,7 @@ ARTIFACT_ORDER = [
     "serving",
     "serving_net",
     "reconfig",
+    "routing",
 ]
 
 

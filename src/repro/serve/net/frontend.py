@@ -25,7 +25,9 @@ Endpoints
     body arrives — a bulk load larger than memory never buffers whole.
 ``POST /v1/compact`` / ``POST /v1/reconfigure``
     Maintenance writes; reconfigure takes ``{"bits":, "metric":,
-    "banks":}`` and re-voltages online, under live wire traffic.
+    "banks":}`` and re-voltages online, under live wire traffic — or
+    ``{"top_p":, "n_clusters":}`` to move the routed backend's probe
+    width / cluster count (one kind per request).
 ``GET /healthz``
     Liveness + replica/pool integrity (``503`` once the fleet is
     poisoned or the server closed).
@@ -557,11 +559,31 @@ class NetFrontend:
         bits = payload.get("bits")
         metric = payload.get("metric")
         banks = payload.get("banks")
-        if bits is None and metric is None and banks is None:
+        top_p = payload.get("top_p")
+        n_clusters = payload.get("n_clusters")
+        voltage = (bits, metric, banks) != (None, None, None)
+        routing = (top_p, n_clusters) != (None, None)
+        if not voltage and not routing:
             raise HttpError(
-                400, "body must carry at least one of bits/metric/banks"
+                400,
+                "body must carry at least one of bits/metric/banks "
+                "(voltage) or top_p/n_clusters (routing)",
             )
-        await self._server.reconfigure(bits=bits, metric=metric, banks=banks)
+        if voltage and routing:
+            raise HttpError(
+                400,
+                "voltage (bits/metric/banks) and routing "
+                "(top_p/n_clusters) reconfigures are separate write "
+                "transactions; send two requests",
+            )
+        if routing:
+            await self._server.reconfigure_routing(
+                top_p=top_p, n_clusters=n_clusters
+            )
+        else:
+            await self._server.reconfigure(
+                bits=bits, metric=metric, banks=banks
+            )
         return 200, {
             "ok": True,
             "write_generation": int(self._server.write_generation),

@@ -537,6 +537,31 @@ class FerexServer:
         self.stats.record_reconfigure()
         return result
 
+    async def reconfigure_routing(
+        self,
+        top_p: Optional[int] = None,
+        n_clusters: Optional[int] = None,
+    ):
+        """Move the routed backend's probe width and/or cluster count
+        on every replica — online, under live traffic
+        (:meth:`repro.index.FerexIndex.reconfigure_routing`).
+
+        Same discipline as :meth:`reconfigure`: single-writer critical
+        section, pool republish + parity re-check, generation-bumped
+        cache invalidation — a request is routed entirely under the old
+        geometry or entirely under the new one.
+        """
+        try:
+            result = await self._write(
+                lambda index: index.reconfigure_routing(
+                    top_p=top_p, n_clusters=n_clusters
+                )
+            )
+        finally:
+            self._cache.clear()
+        self.stats.record_reconfigure()
+        return result
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

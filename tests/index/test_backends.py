@@ -19,7 +19,13 @@ class TestProtocol:
         assert isinstance(FerexBackend("hamming", 2, 4), SearchBackend)
 
     def test_registry_names(self):
-        assert set(BACKENDS) == {"ferex", "exact", "gpu", "tiered"}
+        assert set(BACKENDS) == {
+            "ferex",
+            "exact",
+            "gpu",
+            "tiered",
+            "routed",
+        }
         for name, cls in BACKENDS.items():
             assert cls.name == name
 

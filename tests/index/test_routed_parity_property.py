@@ -1,0 +1,132 @@
+"""Routed-vs-flat bit-identity property.
+
+With ``top_p >= n_clusters`` every cluster's banks are probed, so
+cluster routing selects nothing away — the routed backend must then be
+**bit-identical** to the flat sharded backend (same ids, same analog
+distances) under ideal devices, across every metric x bit width, and
+must stay identical through the whole mutation vocabulary: incremental
+adds, tombstoned removes (including ones that trip the tombstone
+watermark), physical compaction, whole-index ``reconfigure`` and
+routing-level ``reconfigure_routing``.
+
+The invariant this rests on: within each cluster, local rows are kept
+in ascending global-position order, so every per-cluster (current,
+position) tie-break agrees with the flat backend's global merge.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.index import FerexIndex
+
+CONFIGS = [
+    ("hamming", 1),
+    ("hamming", 2),
+    ("hamming", 3),
+    ("manhattan", 1),
+    ("manhattan", 2),
+    ("manhattan", 3),
+    ("euclidean", 1),
+    ("euclidean", 2),
+    ("euclidean", 3),
+]
+
+DIMS = 12
+N_CLUSTERS = 5
+
+
+def _rng(metric, bits):
+    return np.random.default_rng(
+        zlib.crc32(f"routed/{metric}/{bits}".encode())
+    )
+
+
+def _pair(metric, bits, watermark=0.25):
+    flat = FerexIndex(
+        dims=DIMS, metric=metric, bits=bits, bank_rows=8
+    )
+    routed = FerexIndex(
+        dims=DIMS,
+        metric=metric,
+        bits=bits,
+        bank_rows=8,
+        backend="routed",
+        backend_options={
+            "n_clusters": N_CLUSTERS,
+            "top_p": N_CLUSTERS,
+            "routing_seed": 11,
+            "compact_watermark": watermark,
+        },
+    )
+    return flat, routed
+
+
+def _assert_identical(flat, routed, queries, k):
+    a = flat.search(queries, k=k)
+    b = routed.search(queries, k=k)
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.distances, b.distances)
+
+
+@pytest.mark.parametrize("metric,bits", CONFIGS)
+class TestRoutedFlatParity:
+    def test_bit_identical_through_mutations(self, metric, bits):
+        rng = _rng(metric, bits)
+        hi = 1 << bits
+        queries = rng.integers(0, hi, size=(9, DIMS))
+        flat, routed = _pair(metric, bits)
+
+        # Incremental adds, crossing bank boundaries.
+        for chunk in (30, 1, 14):
+            block = rng.integers(0, hi, size=(chunk, DIMS))
+            flat.add(block)
+            routed.add(block)
+        _assert_identical(flat, routed, queries, k=7)
+
+        # Tombstoned removes — heavy enough to trip the routed
+        # backend's per-cluster watermark compactions.
+        drop = rng.choice(45, size=18, replace=False).tolist()
+        flat.remove(drop)
+        routed.remove(drop)
+        assert routed.backend.n_auto_compactions > 0
+        _assert_identical(flat, routed, queries, k=7)
+
+        # k beyond the live count: identical (-1, inf) padding.
+        _assert_identical(flat, routed, queries, k=45)
+
+        # Physical compaction reassigns positions on both sides.
+        flat.compact()
+        routed.compact()
+        _assert_identical(flat, routed, queries, k=5)
+
+        # Whole-index reconfigure re-voltages both at a new width.
+        flat.reconfigure(bits=bits + 1)
+        routed.reconfigure(bits=bits + 1)
+        _assert_identical(flat, routed, queries, k=5)
+
+        # Routing reconfigure: re-pin at a new cluster count, probe
+        # width still covering every cluster.
+        routed.reconfigure_routing(n_clusters=3, top_p=3)
+        _assert_identical(flat, routed, queries, k=5)
+
+    def test_single_probe_equals_flat_on_one_cluster(self, metric, bits):
+        """Degenerate geometry: one cluster holds everything, so even
+        top_p=1 is exhaustive and must match flat exactly."""
+        rng = _rng(metric, bits)
+        hi = 1 << bits
+        stored = rng.integers(0, hi, size=(26, DIMS))
+        queries = rng.integers(0, hi, size=(6, DIMS))
+        flat = FerexIndex(dims=DIMS, metric=metric, bits=bits, bank_rows=8)
+        routed = FerexIndex(
+            dims=DIMS,
+            metric=metric,
+            bits=bits,
+            bank_rows=8,
+            backend="routed",
+            backend_options={"n_clusters": 1, "top_p": 1},
+        )
+        flat.add(stored)
+        routed.add(stored)
+        _assert_identical(flat, routed, queries, k=4)

@@ -1,0 +1,152 @@
+"""Bench-trajectory gate (`benchmarks/check_trajectory.py`)."""
+
+import json
+
+import pytest
+
+from benchmarks.check_trajectory import (
+    collect_headlines,
+    compare,
+    load_headlines,
+    main,
+)
+
+
+def _write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+class TestCollectHeadlines:
+    def test_finds_nested_ratio_keys(self):
+        found = collect_headlines(
+            {
+                "results": [{"speedup": 3.0}, {"speedup": 2.0}],
+                "flat": {"recall_at_10": 0.99},
+                "meta": {"hit_ratio": 0.5},
+            }
+        )
+        assert found == {
+            "results[0].speedup": 3.0,
+            "results[1].speedup": 2.0,
+            "flat.recall_at_10": 0.99,
+            "meta.hit_ratio": 0.5,
+        }
+
+    def test_ignores_machine_dependent_and_constant_keys(self):
+        found = collect_headlines(
+            {
+                "qps": 1234.0,
+                "latency_ms": 3.2,
+                "rows": 100000,
+                "floors": {
+                    "min_routed_speedup": 2.0,
+                    "max_regression": 0.3,
+                    "headline_top_p": 16,
+                },
+            }
+        )
+        assert found == {}
+
+    def test_ignores_booleans_and_strings(self):
+        assert collect_headlines(
+            {"speedup": True, "recall_note": "n/a"}
+        ) == {}
+
+    def test_substring_matches_require_word_boundaries(self):
+        found = collect_headlines(
+            {
+                "generation": 3,
+                "decalled": 1.0,
+                "hit_ratio": 0.5,
+                "best_speedup_vs_single": 2.0,
+            }
+        )
+        assert found == {
+            "hit_ratio": 0.5,
+            "best_speedup_vs_single": 2.0,
+        }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        assert compare({"a:x": 10.0}, {"a:x": 7.1}, 0.30) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        failures = compare({"a:x": 10.0}, {"a:x": 6.9}, 0.30)
+        assert [f["metric"] for f in failures] == ["a:x"]
+        assert failures[0]["floor"] == pytest.approx(7.0)
+
+    def test_appearing_and_disappearing_metrics_never_fail(self):
+        assert compare({"old": 5.0}, {"new": 0.1}, 0.30) == []
+
+    def test_improvement_passes(self):
+        assert compare({"a:x": 2.0}, {"a:x": 9.0}, 0.30) == []
+
+
+class TestLoadHeadlines:
+    def test_keys_are_prefixed_by_filename(self, tmp_path):
+        _write(tmp_path, "BENCH_a.json", {"speedup": 2.0})
+        _write(tmp_path, "BENCH_b.json", {"speedup": 3.0})
+        assert load_headlines(tmp_path) == {
+            "BENCH_a.json:speedup": 2.0,
+            "BENCH_b.json:speedup": 3.0,
+        }
+
+    def test_non_bench_files_ignored(self, tmp_path):
+        _write(tmp_path, "BENCH_a.json", {"speedup": 2.0})
+        _write(tmp_path, "other.json", {"speedup": 9.0})
+        (tmp_path / "routing.txt").write_text("table")
+        assert load_headlines(tmp_path) == {"BENCH_a.json:speedup": 2.0}
+
+    def test_unreadable_json_is_skipped(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        _write(tmp_path, "BENCH_ok.json", {"recall": 1.0})
+        assert load_headlines(tmp_path) == {"BENCH_ok.json:recall": 1.0}
+        assert "skipping unreadable" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_regression_fails_with_exit_1(self, tmp_path, capsys):
+        _write(tmp_path / "base", "BENCH_x.json", {"speedup": 10.0})
+        _write(tmp_path / "cur", "BENCH_x.json", {"speedup": 1.0})
+        assert (
+            main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_within_tolerance_exits_0(self, tmp_path, capsys):
+        _write(tmp_path / "base", "BENCH_x.json", {"speedup": 10.0})
+        _write(tmp_path / "cur", "BENCH_x.json", {"speedup": 8.0})
+        assert (
+            main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 0
+        )
+        assert "trajectory ok" in capsys.readouterr().out
+
+    def test_missing_baseline_is_a_clean_skip(self, tmp_path, capsys):
+        _write(tmp_path / "cur", "BENCH_x.json", {"speedup": 1.0})
+        assert (
+            main([str(tmp_path / "nope"), str(tmp_path / "cur")]) == 0
+        )
+        assert "skipped" in capsys.readouterr().out
+
+    def test_missing_current_dir_is_an_error(self, tmp_path):
+        _write(tmp_path / "base", "BENCH_x.json", {"speedup": 1.0})
+        assert (
+            main([str(tmp_path / "base"), str(tmp_path / "gone")]) == 2
+        )
+
+    def test_custom_tolerance(self, tmp_path):
+        _write(tmp_path / "base", "BENCH_x.json", {"speedup": 10.0})
+        _write(tmp_path / "cur", "BENCH_x.json", {"speedup": 8.0})
+        args = [str(tmp_path / "base"), str(tmp_path / "cur")]
+        assert main(args + ["--max-regression", "0.10"]) == 1
+        assert main(args + ["--max-regression", "0.30"]) == 0
+
+    def test_empty_baseline_dir_skips(self, tmp_path, capsys):
+        (tmp_path / "base").mkdir()
+        _write(tmp_path / "cur", "BENCH_x.json", {"speedup": 1.0})
+        assert (
+            main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 0
+        )
+        assert "skipped" in capsys.readouterr().out

@@ -64,3 +64,8 @@ class TestOrderCoversBenches:
         assert names <= set(ARTIFACT_ORDER), (
             names - set(ARTIFACT_ORDER)
         )
+
+    def test_routing_artifact_listed(self):
+        """The routed-search bench's artifact is part of the report
+        ordering (ISSUE 8: routing results ship with every report)."""
+        assert "routing" in ARTIFACT_ORDER
