@@ -11,7 +11,10 @@ Shows the whole serving story in ~80 lines:
 4. mutate mid-flight (add/remove) — the single-writer path updates
    every replica in order and invalidates the cache;
 5. read the stats surface: qps, batch histogram, hit rate, latency
-   percentiles.
+   percentiles;
+6. replay a skewed (Zipfian) stream under ``cache_policy="tinylfu"``
+   vs the default LRU — frequency-gated admission keeps the hot head
+   resident, lifting the hit rate at equal capacity.
 
 Run:  python examples/serve_traffic.py
 """
@@ -91,6 +94,33 @@ async def main():
         # --- the stats surface ---------------------------------------
         print()
         print(server.stats.format())
+
+    # --- skewed traffic: TinyLFU admission vs plain LRU --------------
+    # A long-tailed stream over a universe much larger than the cache:
+    # admit-on-miss LRU lets one-hit wonders evict the hot head, while
+    # W-TinyLFU admits only candidates whose sketched frequency beats
+    # the would-be victim's.  Same answers, fewer array scans.
+    universe = rng.integers(0, 1 << BITS, size=(2000, DIMS))
+    weights = np.arange(1, len(universe) + 1, dtype=float) ** -1.1
+    trace = np.random.default_rng(7).choice(
+        len(universe), size=4000, p=weights / weights.sum()
+    )
+    print()
+    for cache_policy in ("lru", "tinylfu"):
+        server = FerexServer.from_factory(
+            make_replica,
+            max_batch_size=16,
+            max_wait_ms=0.5,
+            cache_size=48,
+            cache_policy=cache_policy,
+        )
+        async with server:
+            for qi in trace:
+                await server.search(universe[qi], k=3)
+            snap = server.cache.snapshot()
+        print(f"zipf(1.1) x {len(trace)}, capacity 48, "
+              f"policy={cache_policy:8s} hit rate "
+              f"{snap['hit_rate']:.1%}")
 
 
 if __name__ == "__main__":

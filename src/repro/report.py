@@ -41,6 +41,7 @@ ARTIFACT_ORDER = [
     "index_scaling",
     "serving",
     "serving_net",
+    "cache",
     "reconfig",
     "routing",
 ]

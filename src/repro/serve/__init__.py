@@ -5,8 +5,11 @@
   search that stays bit-identical to direct index search;
 * :class:`RequestCoalescer` — micro-batches concurrent requests so they
   ride the index's batched search path;
-* :class:`QueryCache` — LRU keyed on (query bytes, k,
-  write-generation), invalidated by every index mutation;
+* :class:`QueryCache` — policy-driven cache keyed on (query bytes, k,
+  write-generation), invalidated by every index mutation; admission/
+  eviction is pluggable (:mod:`repro.serve.admission_policy`):
+  :class:`LruPolicy` or :class:`TinyLfuPolicy` (W-TinyLFU — a
+  :class:`FrequencySketch` gates admission under skewed traffic);
 * :class:`ReplicaRouter` / :class:`Replica` — round-robin or
   least-loaded reads over N bit-identical replicas, single-writer
   mutation path with parity checking;
@@ -22,7 +25,13 @@
   :class:`~repro.serve.net.Autoscaler`).
 """
 
-from .cache import QueryCache
+from .admission_policy import (
+    FrequencySketch,
+    LruPolicy,
+    TinyLfuPolicy,
+    make_policy,
+)
+from .cache import QueryCache, canonical_int_query
 from .coalescer import DeadlineExceededError, RequestCoalescer
 from .procpool import PoolBrokenError, ProcReplicaPool
 from .router import Replica, ReplicaParityError, ReplicaRouter
@@ -38,6 +47,8 @@ from .stats import ServerStats
 __all__ = [
     "DeadlineExceededError",
     "FerexServer",
+    "FrequencySketch",
+    "LruPolicy",
     "PoolBrokenError",
     "ProcReplicaPool",
     "QueryCache",
@@ -48,6 +59,9 @@ __all__ = [
     "SegmentIntegrityError",
     "SegmentManifest",
     "ServerStats",
+    "TinyLfuPolicy",
     "attach_index",
+    "canonical_int_query",
+    "make_policy",
     "publish_index",
 ]

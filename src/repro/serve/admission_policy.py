@@ -1,0 +1,456 @@
+"""Pluggable admission/eviction policies for the serving query cache.
+
+:class:`repro.serve.cache.QueryCache` historically admitted every
+miss: one-hit-wonder queries under a skewed (Zipfian) request stream
+evict the hot head, and every avoided re-search is a full CAM-array
+scan the paper prices in energy and latency — so the admission policy
+is a first-order serving lever.  This module separates *what the cache
+stores* (the policy's job: recency/frequency bookkeeping, eviction,
+admission) from *what the cache means* (``QueryCache``'s job: key
+canonicalisation, hit/miss accounting, frozen entries, invalidation on
+index writes).
+
+Two policies ship:
+
+* :class:`LruPolicy` — the classic bounded LRU, bit-identical in
+  behaviour to the pre-policy cache;
+* :class:`TinyLfuPolicy` — W-TinyLFU (Einziger, Gabbay & Manes): a
+  small recency *window* LRU in front of a frequency-protected *main*
+  segment, fronted by a :class:`FrequencySketch` (doorkeeper Bloom
+  filter + 4-bit Count-Min sketch with periodic halving decay).  A
+  candidate evicted from the window is admitted to the main segment
+  only when its estimated frequency beats the would-be victim's, so a
+  burst of one-hit wonders can never displace the hot head.
+
+Frequency is keyed on the *generation-free* part of the cache key
+(query bytes + ``k``, supplied by ``QueryCache`` via the
+``frequency_key`` hook): cached rows die with every index
+write-generation bump — they might be stale — but a query's popularity
+does not, so the sketch survives invalidations and the hot head
+re-admits itself immediately after a write.
+
+Hashing uses ``blake2b`` with fixed salts, so sketch state (and with
+it every admission decision) is deterministic across processes and
+runs — the property the serving benches and parity tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+#: Hook deriving the frequency-sketch key from a cache key.  The
+#: default hashes the whole key; ``QueryCache`` passes a hook that
+#: drops the write-generation component.
+FrequencyKey = Callable[[object], bytes]
+
+
+def _default_frequency_key(key: object) -> bytes:
+    """Hash the whole key (``repr`` is deterministic for the tuples of
+    bytes/ints cache keys are made of)."""
+    if isinstance(key, bytes):
+        return key
+    return repr(key).encode()
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(int(n) - 1, 1).bit_length()
+
+
+class FrequencySketch:
+    """Approximate access-frequency counter: doorkeeper + 4-bit CMS.
+
+    The *doorkeeper* Bloom filter absorbs the first occurrence of
+    every key, so the Count-Min table only counts keys seen at least
+    twice — one-hit wonders (the vast majority under a long-tailed
+    stream) never pollute the counters.  The CMS itself keeps
+    ``depth`` rows of 4-bit saturating counters (conservative update:
+    only the minimal counters advance).  Every ``sample_size``
+    recorded accesses, all counters are halved and the doorkeeper is
+    reset — the decay that ages out yesterday's hot set.
+
+    Estimates therefore live in ``[0, counter_max + 1]``: the CMS
+    minimum plus one when the doorkeeper remembers the key.
+
+    Parameters
+    ----------
+    capacity:
+        The cache capacity the sketch guards; table sizes and the
+        decay period scale from it.
+    depth:
+        CMS rows (independent hash functions).
+    counter_max:
+        Saturation value of one counter (15 = 4-bit).
+    sample_multiplier:
+        Decay period in accesses, as a multiple of ``capacity``.
+    """
+
+    _DOORKEEPER_PROBES = 3
+
+    def __init__(
+        self,
+        capacity: int,
+        depth: int = 4,
+        counter_max: int = 15,
+        sample_multiplier: int = 10,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = int(depth)
+        self.counter_max = int(counter_max)
+        self.width = _next_pow2(max(64, 8 * capacity))
+        self.sample_size = max(2, sample_multiplier * capacity)
+        self._table = np.zeros((self.depth, self.width), dtype=np.uint8)
+        self._door_bits = _next_pow2(max(64, 16 * capacity))
+        self._door = np.zeros(self._door_bits, dtype=bool)
+        self.increments = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    def _hashes(self, data: bytes) -> Tuple[int, int]:
+        """Two independent 64-bit hashes (Kirsch–Mitzenmacher base);
+        keyed blake2b keeps them deterministic across processes."""
+        digest = hashlib.blake2b(
+            data, digest_size=16, key=b"ferex-sketch"
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return h1, h2
+
+    def _door_slots(self, h1: int, h2: int) -> list:
+        mask = self._door_bits - 1
+        return [
+            (h1 + i * h2) & mask
+            for i in range(1, self._DOORKEEPER_PROBES + 1)
+        ]
+
+    def _cms_columns(self, h1: int, h2: int) -> np.ndarray:
+        mask = self.width - 1
+        return np.fromiter(
+            ((h1 + (i + 7) * h2) & mask for i in range(self.depth)),
+            dtype=np.int64,
+            count=self.depth,
+        )
+
+    # ------------------------------------------------------------------
+    def record(self, data: bytes) -> None:
+        """Count one access to ``data``."""
+        h1, h2 = self._hashes(data)
+        slots = self._door_slots(h1, h2)
+        if not all(self._door[slot] for slot in slots):
+            # First sighting since the last decay: the doorkeeper
+            # remembers it, the CMS stays clean.
+            self._door[slots] = True
+        else:
+            rows = np.arange(self.depth)
+            columns = self._cms_columns(h1, h2)
+            counters = self._table[rows, columns]
+            low = counters.min()
+            if low < self.counter_max:
+                # Conservative update: only the minimal counters move,
+                # halving the classic CMS overestimation bias.
+                bump = rows[counters == low]
+                self._table[bump, columns[counters == low]] += 1
+        self.increments += 1
+        if self.increments >= self.sample_size:
+            self._decay()
+
+    def estimate(self, data: bytes) -> int:
+        """Approximate access count of ``data`` since ~one decay
+        period (never underestimates within the period)."""
+        h1, h2 = self._hashes(data)
+        rows = np.arange(self.depth)
+        freq = int(self._table[rows, self._cms_columns(h1, h2)].min())
+        if all(self._door[slot] for slot in self._door_slots(h1, h2)):
+            freq += 1
+        return freq
+
+    def _decay(self) -> None:
+        """Halve every counter and forget the doorkeeper — the aging
+        step that keeps the sketch tracking the *current* hot set."""
+        self._table >>= 1
+        self._door[:] = False
+        self.increments >>= 1
+        self.resets += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "width": int(self.width),
+            "depth": int(self.depth),
+            "counter_max": int(self.counter_max),
+            "sample_size": int(self.sample_size),
+            "increments": int(self.increments),
+            "resets": int(self.resets),
+            "doorkeeper_fill": float(self._door.mean()),
+        }
+
+
+class LruPolicy:
+    """Plain bounded LRU — admit every insert, evict the LRU tail.
+
+    Bit-identical in behaviour to the pre-policy ``QueryCache``; the
+    serving benches use it as the admission-free baseline.
+    """
+
+    name = "lru"
+
+    def __init__(
+        self,
+        capacity: int,
+        frequency_key: Optional[FrequencyKey] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def lookup(self, key, record: bool = True):
+        """Return the stored entry (refreshing recency) or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def insert(self, key, entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (no frequency state to preserve)."""
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "policy": self.name,
+            "size": len(self._entries),
+            "capacity": int(self.capacity),
+            "evictions": int(self.evictions),
+        }
+
+
+class TinyLfuPolicy:
+    """W-TinyLFU: window LRU + frequency-gated segmented main (SLRU).
+
+    New entries land in a small recency *window* (a plain LRU sized at
+    ``window_fraction`` of capacity, minimum one slot).  The window's
+    LRU victim becomes a *candidate* for the main segment: while the
+    main segment has room it is admitted outright; once full, the
+    candidate is admitted only if the :class:`FrequencySketch`
+    estimates it more popular than the main segment's own victim —
+    otherwise the candidate is dropped and the resident survives
+    (``admission_rejections`` counts these).  Ties reject: an attacker
+    replaying a key pair cannot flush the protected set.
+
+    The main segment is itself segmented (SLRU): admitted candidates
+    enter *probation*; a hit in probation promotes to the *protected*
+    segment (~80% of main), demoting protected's own LRU back to
+    probation when full.  Eviction victims always come from probation
+    first, so an entry that proved itself twice cannot be churned out
+    by a parade of once-admitted candidates.
+
+    ``invalidate()`` drops the stored entries but keeps the sketch and
+    doorkeeper: frequency is keyed generation-free, so popularity
+    survives index writes while potentially-stale rows do not.
+    """
+
+    name = "tinylfu"
+
+    #: Fraction of the main segment reserved for twice-hit entries.
+    _PROTECTED_FRACTION = 0.8
+
+    def __init__(
+        self,
+        capacity: int,
+        frequency_key: Optional[FrequencyKey] = None,
+        window_fraction: float = 0.01,
+        sketch: Optional[FrequencySketch] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if not 0.0 < window_fraction < 1.0:
+            raise ValueError("window_fraction must be in (0, 1)")
+        self.capacity = int(capacity)
+        self.window_capacity = (
+            max(1, round(capacity * window_fraction)) if capacity else 0
+        )
+        self.main_capacity = self.capacity - self.window_capacity
+        self.protected_capacity = int(
+            self.main_capacity * self._PROTECTED_FRACTION
+        )
+        self._frequency_key = frequency_key or _default_frequency_key
+        self.sketch = sketch or FrequencySketch(max(1, capacity))
+        self._window: OrderedDict = OrderedDict()
+        self._probation: OrderedDict = OrderedDict()
+        self._protected: OrderedDict = OrderedDict()
+        self.evictions = 0
+        self.admission_rejections = 0
+
+    def __len__(self) -> int:
+        return (
+            len(self._window)
+            + len(self._probation)
+            + len(self._protected)
+        )
+
+    def __contains__(self, key) -> bool:
+        return (
+            key in self._window
+            or key in self._probation
+            or key in self._protected
+        )
+
+    # ------------------------------------------------------------------
+    def record_access(self, key) -> None:
+        """Count one logical access (hit *or* miss) toward the key's
+        frequency — misses matter: they are exactly how a soon-to-be
+        candidate earns admission."""
+        self.sketch.record(self._frequency_key(key))
+
+    def lookup(self, key, record: bool = True):
+        """Return the stored entry (refreshing recency in its segment,
+        promoting probation hits to protected) or ``None``;
+        ``record=True`` also counts the access in the sketch
+        (dispatch-time re-probes pass ``False`` — their submit-path
+        lookup already counted)."""
+        if record:
+            self.record_access(key)
+        entry = self._window.get(key)
+        if entry is not None:
+            self._window.move_to_end(key)
+            return entry
+        entry = self._protected.get(key)
+        if entry is not None:
+            self._protected.move_to_end(key)
+            return entry
+        entry = self._probation.get(key)
+        if entry is not None:
+            self._promote(key, entry)
+        return entry
+
+    def _promote(self, key, entry) -> None:
+        """A probation hit proved the entry twice: move it into
+        protected, demoting protected's LRU back to probation to keep
+        the segment bounded."""
+        del self._probation[key]
+        if self.protected_capacity == 0:
+            # Degenerate tiny mains: probation is all there is.
+            self._probation[key] = entry
+            self._probation.move_to_end(key)
+            return
+        self._protected[key] = entry
+        while len(self._protected) > self.protected_capacity:
+            demoted_key, demoted = self._protected.popitem(last=False)
+            self._probation[demoted_key] = demoted
+
+    def insert(self, key, entry) -> None:
+        """File a new entry through the window, spilling the window's
+        LRU victim into the frequency-gated main segment."""
+        if key in self._window:
+            self._window[key] = entry
+            self._window.move_to_end(key)
+            return
+        if key in self._protected:
+            self._protected[key] = entry
+            self._protected.move_to_end(key)
+            return
+        if key in self._probation:
+            self._probation[key] = entry
+            self._probation.move_to_end(key)
+            return
+        self._window[key] = entry
+        while len(self._window) > self.window_capacity:
+            candidate_key, candidate = self._window.popitem(last=False)
+            self._admit(candidate_key, candidate)
+
+    def _main_victim(self):
+        """The key next in line for eviction from main: probation's
+        LRU when probation is populated, protected's otherwise."""
+        if self._probation:
+            return next(iter(self._probation)), self._probation
+        return next(iter(self._protected)), self._protected
+
+    def _admit(self, candidate_key, candidate) -> None:
+        if self.main_capacity == 0:
+            self.evictions += 1
+            return
+        if len(self._probation) + len(self._protected) < self.main_capacity:
+            self._probation[candidate_key] = candidate
+            return
+        victim_key, victim_segment = self._main_victim()
+        candidate_freq = self.sketch.estimate(
+            self._frequency_key(candidate_key)
+        )
+        victim_freq = self.sketch.estimate(
+            self._frequency_key(victim_key)
+        )
+        if candidate_freq > victim_freq:
+            del victim_segment[victim_key]
+            self._probation[candidate_key] = candidate
+        else:
+            self.admission_rejections += 1
+        self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every stored entry; the frequency sketch survives (it
+        is keyed generation-free, so popularity outlives index
+        writes)."""
+        self._window.clear()
+        self._probation.clear()
+        self._protected.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "policy": self.name,
+            "size": len(self),
+            "capacity": int(self.capacity),
+            "window_size": len(self._window),
+            "window_capacity": int(self.window_capacity),
+            "main_size": len(self._probation) + len(self._protected),
+            "main_capacity": int(self.main_capacity),
+            "probation_size": len(self._probation),
+            "protected_size": len(self._protected),
+            "protected_capacity": int(self.protected_capacity),
+            "evictions": int(self.evictions),
+            "admission_rejections": int(self.admission_rejections),
+            "sketch": self.sketch.snapshot(),
+        }
+
+
+#: Registry for the string-valued policy knobs on ``QueryCache`` /
+#: ``FerexServer``.
+POLICIES = {
+    LruPolicy.name: LruPolicy,
+    TinyLfuPolicy.name: TinyLfuPolicy,
+}
+
+
+def make_policy(
+    name: str,
+    capacity: int,
+    frequency_key: Optional[FrequencyKey] = None,
+):
+    """Instantiate a registered policy by name (``"lru"`` /
+    ``"tinylfu"``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; known: "
+            f"{sorted(POLICIES)}"
+        ) from None
+    return cls(capacity, frequency_key=frequency_key)

@@ -1,4 +1,4 @@
-"""LRU query cache for the serving layer.
+"""Policy-driven query cache for the serving layer.
 
 Entries are keyed on ``(query bytes, k, index write-generation)``: the
 generation component makes every index mutation an implicit, total
@@ -7,7 +7,16 @@ can never collide with one minted after, so stale results are
 unreachable the instant the index changes.  :class:`repro.serve.server.
 FerexServer` additionally calls :meth:`QueryCache.clear` on its write
 path so the dead generation's entries release their memory immediately
-instead of aging out of the LRU.
+instead of aging out.
+
+What the cache *keeps* is delegated to a pluggable eviction/admission
+policy (:mod:`repro.serve.admission_policy`): ``"lru"`` (default, the
+classic recency cache) or ``"tinylfu"`` (W-TinyLFU — a frequency
+sketch gates admission so one-hit wonders under skewed traffic cannot
+evict the hot head).  The TinyLFU frequency sketch is keyed on the
+*generation-free* part of the key (query bytes + ``k``), so popularity
+survives write-generation invalidations while the cached rows
+themselves do not.
 
 The cache is **event-loop confined**: every access happens on the
 server's asyncio thread (lookups on the submit path, inserts after the
@@ -15,41 +24,100 @@ dispatch coroutine resumes), so no locking is needed.  Stored arrays
 are frozen copies of the served rows (the server hands callers
 *writable* copies on a hit, so hit and miss results have identical
 mutability); hits are bit-identical to the miss that populated them.
+
+Hit/miss accounting is kept in two eras: *lifetime* counters
+(``hits``/``misses``, never reset) and *windowed* counters
+(``window_hits``/``window_misses``, reset by every :meth:`clear`), so
+the exported hit rate can be read per traffic era instead of blending
+across invalidations.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from .admission_policy import LruPolicy, TinyLfuPolicy, make_policy
 
 #: Cache key: (canonical query bytes, k, index write-generation).
 CacheKey = Tuple[bytes, int, int]
 
 
+def canonical_int_query(query: np.ndarray) -> np.ndarray:
+    """Canonicalise a query to contiguous ``int64`` — *rejecting*
+    non-integral values instead of truncating them.
+
+    A silent ``astype(int64)`` would alias two distinct float queries
+    (``1.2`` and ``1.7`` both truncate to ``1``) onto one cache key,
+    serving the second caller the first one's rows.  Fractional or
+    non-finite input raises ``ValueError``; integral-valued float
+    arrays (``1.0``) canonicalise to the same key as their int
+    counterparts.
+    """
+    arr = np.ascontiguousarray(query)
+    if np.issubdtype(arr.dtype, np.integer) or arr.dtype == bool:
+        return np.ascontiguousarray(arr, dtype=np.int64)
+    if not np.issubdtype(arr.dtype, np.floating):
+        raise ValueError(
+            f"queries must be integer-valued, got dtype {arr.dtype}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("queries must be finite, got non-finite values")
+    canonical = arr.astype(np.int64)
+    if not np.array_equal(canonical, arr):
+        raise ValueError(
+            "queries must be integer-valued; refusing to truncate "
+            "fractional values (distinct float queries would alias to "
+            "one cache key)"
+        )
+    return np.ascontiguousarray(canonical)
+
+
 class QueryCache:
-    """Bounded LRU of ``(ids, distances)`` rows per served query.
+    """Bounded cache of ``(ids, distances)`` rows per served query.
 
     Parameters
     ----------
     capacity:
-        Maximum resident entries; ``0`` disables caching entirely
-        (every lookup misses, inserts are dropped).
+        Maximum resident entries; ``0`` disables caching entirely —
+        the cache is inert (lookups return ``None`` without touching
+        any counter, inserts are dropped).
+    policy:
+        Eviction/admission policy: ``"lru"`` (default) or
+        ``"tinylfu"``, or an already-constructed policy object from
+        :mod:`repro.serve.admission_policy`.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: Union[str, LruPolicy, TinyLfuPolicy] = "lru",
+    ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
-        # key -> (ids, distances), most-recently-used last
-        self._entries = OrderedDict()
+        if isinstance(policy, str):
+            policy = make_policy(
+                policy, capacity, frequency_key=self._frequency_key
+            )
+        self._policy = policy
+        # Lifetime counters: never reset.
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+        # Windowed counters: reset by every clear(), so hit_rate can
+        # be read per write-generation era.
+        self.window_hits = 0
+        self.window_misses = 0
         self.invalidations = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _frequency_key(key: CacheKey) -> bytes:
+        """Generation-free sketch key: query bytes + ``k``.  Cached
+        rows die with the write generation; popularity does not."""
+        return key[0] + int(key[1]).to_bytes(8, "little", signed=True)
+
     @staticmethod
     def key(query: np.ndarray, k: int, generation: int) -> CacheKey:
         """Canonical key for one query row.
@@ -57,13 +125,31 @@ class QueryCache:
         Queries are quantised integer vectors; hashing the ``int64``
         byte image makes the key independent of the caller's input
         dtype (a list, ``int32`` array, … all map to the same entry).
+        Non-integral queries raise ``ValueError`` instead of silently
+        truncating into another query's key
+        (:func:`canonical_int_query`).
         """
-        canonical = np.ascontiguousarray(query, dtype=np.int64)
+        canonical = canonical_int_query(query)
         return (canonical.tobytes(), int(k), int(generation))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._policy)
+
+    @property
+    def policy(self):
+        """The live eviction/admission policy object."""
+        return self._policy
+
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped for capacity (admission rejections
+        included)."""
+        return self._policy.evictions
 
     @property
     def hit_rate(self) -> float:
@@ -71,67 +157,91 @@ class QueryCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def window_hit_rate(self) -> float:
+        """Hits over lookups since the last invalidation — the
+        per-traffic-era rate ``/metrics`` readers usually want."""
+        total = self.window_hits + self.window_misses
+        return self.window_hits / total if total else 0.0
+
     def get(
         self, key: CacheKey
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Look up one entry, refreshing its LRU recency on a hit."""
-        entry = self._entries.get(key)
+        """Look up one entry, refreshing its recency (and, under
+        TinyLFU, its frequency) on every call.  A disabled
+        (``capacity=0``) cache is inert: ``None``, no counters
+        touched."""
+        if self.capacity == 0:
+            return None
+        entry = self._policy.lookup(key)
         if entry is None:
             self.misses += 1
+            self.window_misses += 1
             return None
-        self._entries.move_to_end(key)
         self.hits += 1
+        self.window_hits += 1
         return entry
 
     def peek(
         self, key: CacheKey
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Like :meth:`get` but without touching the hit/miss counters.
+        """Like :meth:`get` but without touching the hit/miss counters
+        (or the frequency sketch — the submit-path lookup already
+        counted this access).
 
         The server's *dispatch-time* probe uses this: a micro-batch row
         may have been populated by a batch that completed after this
-        row's submit-time lookup missed, and serving it from the LRU
+        row's submit-time lookup missed, and serving it from the cache
         skips the executor (or worker-process) hop entirely.  Those
         late hits are accounted separately
         (:attr:`repro.serve.ServerStats.n_dispatch_cache_hits`), so the
         cache's own counters keep meaning "submit-path lookups".
-        LRU recency still refreshes — a served entry is a used entry.
+        Recency still refreshes — a served entry is a used entry.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        if self.capacity == 0:
+            return None
+        return self._policy.lookup(key, record=False)
 
     def put(
         self, key: CacheKey, ids: np.ndarray, distances: np.ndarray
     ) -> None:
-        """Insert one served result, evicting the LRU tail if full."""
+        """Insert one served result; the policy decides what (if
+        anything) to evict — or, under TinyLFU, whether the entry even
+        survives past the admission window."""
         if self.capacity == 0:
             return
         ids = np.array(ids)
         distances = np.array(distances)
         ids.flags.writeable = False
         distances.flags.writeable = False
-        self._entries[key] = (ids, distances)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        self._policy.insert(key, (ids, distances))
 
     def clear(self) -> None:
-        """Drop every entry (the server's write-path invalidation)."""
-        if self._entries:
+        """Drop every entry (the server's write-path invalidation) and
+        start a fresh accounting window.  Lifetime counters — and the
+        TinyLFU frequency sketch, which is keyed generation-free —
+        survive."""
+        if len(self._policy):
             self.invalidations += 1
-        self._entries.clear()
+        self._policy.invalidate()
+        self.window_hits = 0
+        self.window_misses = 0
 
     def snapshot(self) -> dict:
-        """Counters for the stats surface."""
+        """Counters for the stats surface: lifetime and windowed
+        (since-last-invalidation) accounting plus the policy's own
+        state (window/main occupancy, admission rejections, sketch
+        resets under TinyLFU)."""
         return {
-            "size": len(self._entries),
+            "size": len(self._policy),
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "window_hits": self.window_hits,
+            "window_misses": self.window_misses,
+            "window_hit_rate": self.window_hit_rate,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "policy": self._policy.snapshot(),
         }

@@ -33,8 +33,12 @@ Endpoints
     poisoned or the server closed).
 ``GET /metrics``
     One JSON document: the :class:`~repro.serve.stats.ServerStats`
-    snapshot, wire counters, admission budget, autoscaler state, pool
-    state.  Plain ints/floats throughout — ``json.dumps`` clean.
+    snapshot (its ``cache`` section carries both lifetime and
+    windowed — since-last-invalidation — hit accounting plus the
+    admission-policy state: window/main occupancy, admission
+    rejections and sketch resets under W-TinyLFU), wire counters,
+    admission budget, autoscaler state, pool state.  Plain
+    ints/floats throughout — ``json.dumps`` clean.
 
 Overload behaviour (admission + deadlines) is the point of the layer:
 requests beyond the pending budget are shed instantly with ``429`` +

@@ -54,7 +54,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from ..index import FerexIndex, SearchOutcome
-from .cache import QueryCache
+from .cache import QueryCache, canonical_int_query
 from .coalescer import RequestCoalescer
 from .procpool import PoolBrokenError, ProcReplicaPool
 from .router import ReplicaRouter
@@ -75,7 +75,13 @@ class FerexServer:
         Coalescing knobs: flush a micro-batch at this size, or this
         long after its oldest request, whichever comes first.
     cache_size:
-        LRU query-cache capacity; ``0`` disables caching.
+        Query-cache capacity; ``0`` disables caching.
+    cache_policy:
+        Query-cache admission/eviction policy: ``"lru"`` (default,
+        admit every miss) or ``"tinylfu"`` (W-TinyLFU frequency
+        gating — under skewed traffic one-hit wonders can no longer
+        evict the hot head; see
+        :mod:`repro.serve.admission_policy`).
     policy:
         Replica routing policy: ``"least_loaded"`` (default) or
         ``"round_robin"``.
@@ -97,6 +103,7 @@ class FerexServer:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
+        cache_policy: str = "lru",
         policy: str = "least_loaded",
         pool: Optional[ProcReplicaPool] = None,
         adaptive_wait: bool = False,
@@ -128,7 +135,11 @@ class FerexServer:
         self._adaptive = adaptive_wait
         self._republish_error: Optional[BaseException] = None
         self.stats = ServerStats()
-        self._cache = QueryCache(cache_size)
+        self._cache = QueryCache(cache_size, policy=cache_policy)
+        # /metrics and bench artifacts read the cache (and its policy
+        # state — occupancy, admission rejections, sketch resets)
+        # through the stats snapshot.
+        self.stats.cache_probe = self._cache.snapshot
         # The autoscaling signals: stats snapshots read the coalescer's
         # pending-queue depth (and its EWMAs / deadline drops) live
         # through these probes.
@@ -212,7 +223,8 @@ class FerexServer:
             f"FerexServer(replicas={self.n_replicas}, "
             f"policy={self._router.policy!r}, "
             f"max_batch_size={self._coalescer.max_batch_size}, "
-            f"cache={self._cache.capacity})"
+            f"cache={self._cache.capacity}/"
+            f"{self._cache.policy_name})"
         )
 
     # ------------------------------------------------------------------
@@ -239,7 +251,11 @@ class FerexServer:
         """
         if self._closed:
             raise RuntimeError("server is closed")
-        query = np.asarray(query, dtype=int)
+        # Canonicalise to int64, *rejecting* fractional values — a
+        # silent dtype=int cast would truncate two distinct float
+        # queries onto one cache key (and one search), serving the
+        # second caller the first one's rows.
+        query = canonical_int_query(query)
         # Full per-request validation happens *before* the query parks
         # in the coalescer: a batched dispatch validates whole batches,
         # and one malformed query must never fail the innocent callers
@@ -291,7 +307,7 @@ class FerexServer:
         stacked ``(n, k)`` outcomes in query order."""
         if self._closed:
             raise RuntimeError("server is closed")
-        queries = np.asarray(queries, dtype=int)
+        queries = canonical_int_query(queries)
         if queries.ndim != 2:
             raise ValueError(
                 f"search_many() takes (n, dims) queries, got "

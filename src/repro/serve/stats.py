@@ -72,6 +72,11 @@ class ServerStats:
         #: Optional gauge probe returning the coalescer's pending-queue
         #: depth — the autoscaling signal; the server wires it up.
         self.queue_depth_probe: Optional[Callable[[], int]] = None
+        #: Optional probe returning the query cache's snapshot dict
+        #: (lifetime + windowed hit accounting and the admission
+        #: policy's state); the server wires it up so ``/metrics`` and
+        #: bench artifacts see cache behaviour per era.
+        self.cache_probe: Optional[Callable[[], dict]] = None
         #: Extra named gauges folded into every snapshot (the server
         #: registers the coalescer EWMAs and deadline-drop count here).
         self._gauges: dict = {}
@@ -201,6 +206,10 @@ class ServerStats:
                 if isinstance(value, int) and not isinstance(value, bool)
                 else _json_float(value)
             )
+        if self.cache_probe is not None:
+            # The cache snapshot is JSON-safe by construction (plain
+            # ints/floats/strs, policy section included).
+            snap["cache"] = self.cache_probe()
         return snap
 
     def reset(self) -> None:

@@ -1,0 +1,252 @@
+"""Admission/eviction policies: frequency sketch, W-TinyLFU, LRU."""
+
+import numpy as np
+import pytest
+
+from repro.serve import QueryCache
+from repro.serve.admission_policy import (
+    FrequencySketch,
+    LruPolicy,
+    TinyLfuPolicy,
+    make_policy,
+)
+
+
+def key(i, k=1, generation=0):
+    return QueryCache.key(np.array([i]), k, generation)
+
+
+def entry(i):
+    return (np.array([i]), np.array([float(i)]))
+
+
+class TestFrequencySketch:
+    def test_estimate_grows_with_records(self):
+        sketch = FrequencySketch(32)
+        assert sketch.estimate(b"q") == 0
+        sketch.record(b"q")
+        # First sighting lands in the doorkeeper only.
+        assert sketch.estimate(b"q") == 1
+        for _ in range(5):
+            sketch.record(b"q")
+        assert sketch.estimate(b"q") == 6
+
+    def test_estimate_saturates_at_counter_max_plus_doorkeeper(self):
+        sketch = FrequencySketch(4, sample_multiplier=1000)
+        for _ in range(100):
+            sketch.record(b"hot")
+        assert sketch.estimate(b"hot") == sketch.counter_max + 1
+
+    def test_unrelated_keys_stay_near_zero(self):
+        sketch = FrequencySketch(32)
+        for _ in range(10):
+            sketch.record(b"hot")
+        assert sketch.estimate(b"never-seen") == 0
+
+    def test_decay_halves_counters_and_resets_doorkeeper(self):
+        sketch = FrequencySketch(4, sample_multiplier=3)
+        # sample_size = 12: drive 11 records, then the 12th decays.
+        for _ in range(11):
+            sketch.record(b"q")
+        before = sketch.estimate(b"q")
+        assert before == 11
+        sketch.record(b"q")
+        assert sketch.resets == 1
+        # Counters halved (11 -> 5) and the doorkeeper bit is gone.
+        assert sketch.estimate(b"q") == 5
+        assert sketch.increments == sketch.sample_size // 2
+
+    def test_deterministic_across_instances(self):
+        a, b = FrequencySketch(16), FrequencySketch(16)
+        for data in (b"x", b"y", b"x", b"z", b"x"):
+            a.record(data)
+            b.record(data)
+        for data in (b"x", b"y", b"z", b"w"):
+            assert a.estimate(data) == b.estimate(data)
+
+    def test_snapshot_is_plain_json(self):
+        import json
+
+        snap = FrequencySketch(8).snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FrequencySketch(0)
+        with pytest.raises(ValueError):
+            FrequencySketch(8, depth=0)
+
+
+class TestLruPolicy:
+    def test_insert_evicts_lru_tail(self):
+        policy = LruPolicy(2)
+        policy.insert(key(0), entry(0))
+        policy.insert(key(1), entry(1))
+        assert policy.lookup(key(0)) is not None  # refresh 0
+        policy.insert(key(2), entry(2))
+        assert policy.lookup(key(1)) is None
+        assert policy.lookup(key(0)) is not None
+        assert policy.evictions == 1
+
+    def test_invalidate_drops_everything(self):
+        policy = LruPolicy(4)
+        policy.insert(key(0), entry(0))
+        policy.invalidate()
+        assert len(policy) == 0 and policy.lookup(key(0)) is None
+
+
+class TestTinyLfuPolicy:
+    def make(self, capacity=8, **kwargs):
+        return TinyLfuPolicy(capacity, **kwargs)
+
+    def test_segment_sizing(self):
+        policy = self.make(capacity=100)
+        assert policy.window_capacity == 1
+        assert policy.main_capacity == 99
+        assert policy.protected_capacity == 79
+        tiny = self.make(capacity=1)
+        assert tiny.window_capacity == 1 and tiny.main_capacity == 0
+
+    def test_scan_cannot_evict_hot_entries(self):
+        """The W-TinyLFU point: a parade of one-hit wonders cannot
+        displace keys with established frequency (LRU loses them all).
+        The window occupant at scan onset is the one allowed casualty:
+        it becomes the admission candidate and loses the frequency tie
+        against an equally-hot main-segment victim."""
+
+        def run_scan(policy):
+            hot = [key(i) for i in range(7)]
+            for hot_key in hot:
+                policy.insert(hot_key, entry(0))
+            for _ in range(6):  # establish frequency (hits count)
+                for hot_key in hot:
+                    assert policy.lookup(hot_key) is not None
+            # Short scan: stays under the sketch's decay threshold.
+            for i in range(100, 130):
+                policy.lookup(key(i))  # miss, recorded
+                policy.insert(key(i), entry(i))
+            return sum(hot_key in policy for hot_key in hot)
+
+        tiny = self.make(capacity=8)
+        assert run_scan(tiny) >= 6
+        assert tiny.admission_rejections > 0
+        assert run_scan(LruPolicy(8)) == 0
+
+    def test_frequent_candidate_displaces_cold_resident(self):
+        policy = self.make(capacity=4)
+        for i in range(4):  # fill: window 1 + main 3
+            policy.insert(key(i), entry(i))
+        # Make key(9) clearly more frequent than the residents.
+        for _ in range(8):
+            policy.lookup(key(9))
+        policy.insert(key(9), entry(9))
+        policy.insert(key(10), entry(10))  # push 9 out of the window
+        assert key(9) in policy
+        assert len(policy) <= policy.capacity
+
+    def test_probation_hit_promotes_to_protected(self):
+        policy = self.make(capacity=16)
+        policy.insert(key(1), entry(1))
+        policy.insert(key(2), entry(2))  # spills 1 into probation
+        assert key(1) in policy._probation
+        assert policy.lookup(key(1)) is not None
+        assert key(1) in policy._protected
+
+    def test_invalidate_keeps_sketch(self):
+        policy = self.make(capacity=8)
+        for _ in range(5):
+            policy.lookup(key(3))
+        freq = policy.sketch.estimate(policy._frequency_key(key(3)))
+        assert freq >= 5
+        policy.insert(key(3), entry(3))
+        policy.invalidate()
+        assert len(policy) == 0
+        assert (
+            policy.sketch.estimate(policy._frequency_key(key(3))) == freq
+        )
+
+    def test_generation_free_frequency_key(self):
+        """Accesses under different write generations accrue to one
+        frequency entry — popularity outlives invalidations."""
+        cache = QueryCache(8, policy="tinylfu")
+        sketch = cache.policy.sketch
+        for generation in range(4):
+            cache.get(key(5, generation=generation))
+        frequency_key = QueryCache._frequency_key(key(5, generation=99))
+        assert sketch.estimate(frequency_key) >= 4
+
+    def test_snapshot_counts_segments(self):
+        policy = self.make(capacity=8)
+        for i in range(6):
+            policy.insert(key(i), entry(i))
+        snap = policy.snapshot()
+        assert snap["policy"] == "tinylfu"
+        assert snap["size"] == len(policy)
+        assert (
+            snap["window_size"] + snap["main_size"] == snap["size"]
+        )
+        assert "sketch" in snap and snap["sketch"]["width"] > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TinyLfuPolicy(-1)
+        with pytest.raises(ValueError):
+            TinyLfuPolicy(8, window_fraction=0.0)
+
+
+class TestMakePolicy:
+    def test_registry(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("tinylfu", 4), TinyLfuPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            make_policy("arc", 4)
+
+
+class TestQueryCachePolicyIntegration:
+    def test_default_policy_is_lru(self):
+        assert QueryCache(4).policy_name == "lru"
+
+    def test_policy_object_accepted(self):
+        policy = TinyLfuPolicy(4)
+        cache = QueryCache(4, policy=policy)
+        assert cache.policy is policy
+
+    def test_unknown_policy_name_raises(self):
+        with pytest.raises(ValueError):
+            QueryCache(4, policy="arc")
+
+    def test_tinylfu_cache_protects_hot_set_through_scan(self):
+        def run_scan(policy_name):
+            cache = QueryCache(8, policy=policy_name)
+            hot_keys = [key(i) for i in range(7)]
+            for hot_key in hot_keys:
+                cache.get(hot_key)
+                cache.put(hot_key, *entry(1))
+            for _ in range(3):
+                for hot_key in hot_keys:
+                    assert cache.get(hot_key) is not None
+            # Short one-hit-wonder scan (below the decay threshold).
+            for i in range(100, 125):
+                cold = key(i)
+                assert cache.get(cold) is None
+                cache.put(cold, *entry(i))
+            return sum(
+                cache.peek(hot_key) is not None for hot_key in hot_keys
+            )
+
+        # TinyLFU keeps the hot set minus at most the window casualty;
+        # LRU's admit-on-miss lets the scan flush everything.
+        assert run_scan("tinylfu") >= 6
+        assert run_scan("lru") == 0
+
+    def test_sketch_survives_clear(self):
+        cache = QueryCache(8, policy="tinylfu")
+        for _ in range(5):
+            cache.get(key(1))
+        cache.put(key(1), *entry(1))
+        cache.clear()
+        assert len(cache) == 0
+        frequency_key = QueryCache._frequency_key(key(1))
+        assert cache.policy.sketch.estimate(frequency_key) >= 5

@@ -43,6 +43,65 @@ class TestLRU:
         assert QueryCache.key(np.array([1, 2]), 2, 0) != base
         assert QueryCache.key(np.array([1, 2]), 1, 1) != base
 
+    def test_key_refuses_fractional_floats(self):
+        """Regression: the old int64 cast truncated 1.2 and 1.7 to the
+        same key, so two different queries aliased to one cache slot."""
+        with pytest.raises(ValueError, match="fractional"):
+            QueryCache.key(np.array([1.2, 0.0]), 1, 0)
+        with pytest.raises(ValueError, match="fractional"):
+            QueryCache.key([1.7, 0.0], 1, 0)
+        with pytest.raises(ValueError):
+            QueryCache.key(np.array([np.nan, 0.0]), 1, 0)
+        with pytest.raises(ValueError):
+            QueryCache.key(np.array(["a", "b"]), 1, 0)
+
+    def test_integral_floats_key_like_ints(self):
+        as_float = QueryCache.key(np.array([1.0, 2.0]), 1, 0)
+        as_int = QueryCache.key(np.array([1, 2]), 1, 0)
+        as_bool = QueryCache.key(np.array([True, False]), 1, 0)
+        assert as_float == as_int
+        assert as_bool == QueryCache.key(np.array([1, 0]), 1, 0)
+
+    def test_server_rejects_fractional_query(self, make_index):
+        async def main():
+            async with FerexServer(
+                make_index(), max_batch_size=4, max_wait_ms=0.5
+            ) as server:
+                bad = np.full(8, 1.5)
+                with pytest.raises(ValueError, match="fractional"):
+                    await server.search(bad, k=2)
+                with pytest.raises(ValueError, match="fractional"):
+                    await server.search_many(bad[None], k=2)
+
+        asyncio.run(main())
+
+    def test_windowed_counters_reset_on_clear(self):
+        """Regression: hit_rate used to blend pre- and post-write eras.
+        Lifetime counters persist across clear(); the windowed pair
+        restarts so window_hit_rate reflects only the current era."""
+        cache = QueryCache(capacity=4)
+        key = QueryCache.key(np.array([1]), 1, 0)
+        cache.get(key)  # miss
+        cache.put(key, *entry(1))
+        cache.get(key)  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.window_hits == 1 and cache.window_misses == 1
+        cache.clear()
+        assert cache.hits == 1 and cache.misses == 1  # lifetime kept
+        assert cache.window_hits == 0 and cache.window_misses == 0
+        cache.get(key)  # miss in the new era
+        snap = cache.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 2
+        assert snap["window_hits"] == 0 and snap["window_misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(1 / 3)
+        assert snap["window_hit_rate"] == 0.0
+        assert snap["invalidations"] == 1
+
+    def test_clear_without_entries_not_counted(self):
+        cache = QueryCache(capacity=4)
+        cache.clear()
+        assert cache.snapshot()["invalidations"] == 0
+
     def test_capacity_zero_disables_caching(self):
         cache = QueryCache(capacity=0)
         key = QueryCache.key(np.array([1]), 1, 0)
@@ -50,6 +109,23 @@ class TestLRU:
         assert len(cache) == 0 and cache.get(key) is None
         with pytest.raises(ValueError):
             QueryCache(capacity=-1)
+
+    def test_capacity_zero_cache_is_fully_inert(self):
+        """A disabled cache must not mutate counters: a 0% hit rate
+        from a cache that can't hold anything is noise, not signal."""
+        cache = QueryCache(capacity=0)
+        key = QueryCache.key(np.array([1]), 1, 0)
+        for _ in range(5):
+            assert cache.get(key) is None
+            assert cache.peek(key) is None
+        cache.put(key, *entry(1))
+        cache.clear()
+        snap = cache.snapshot()
+        assert cache.hits == cache.misses == 0
+        assert snap["hits"] == snap["misses"] == 0
+        assert snap["window_hits"] == snap["window_misses"] == 0
+        assert snap["invalidations"] == 0
+        assert cache.hit_rate == 0.0
 
     def test_cached_rows_are_frozen(self):
         cache = QueryCache(capacity=2)

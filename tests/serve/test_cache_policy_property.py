@@ -1,0 +1,122 @@
+"""Property test for cache admission policies behind FerexServer.
+
+Under *any* skew-biased request stream interleaved with index writes
+(hypothesis drives the ordering), and for *both* cache policies:
+
+* every served answer is bit-identical to a direct search on a mirror
+  index at the same write-generation era — the policy decides when the
+  array is scanned, never what is served;
+* every write empties the cache (no stale rows survive);
+* under TinyLFU, the frequency sketch is untouched by invalidation:
+  estimates for hot queries are exactly preserved across writes (the
+  sketch is keyed on the generation-free part of the cache key).
+"""
+
+import asyncio
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index import FerexIndex
+from repro.serve import FerexServer, QueryCache
+
+DIMS = 8
+BITS = 2
+ROWS = 24
+K = 2
+CAPACITY = 4
+SEED = 17
+
+#: -1 is a write event; query indices are pooled with Zipf-like
+#: multiplicity so streams are hot-head-skewed, the regime the
+#: admission policy exists for.
+EVENT_POOL = (
+    [0] * 8 + [1] * 4 + [2] * 2 + list(range(3, 12)) + [-1] * 3
+)
+
+#: Short streams: total accesses stay below the sketch's decay sample
+#: size (10 * CAPACITY), so across-write estimates must match exactly.
+stream_st = st.lists(
+    st.sampled_from(EVENT_POOL), min_size=4, max_size=30
+)
+
+
+def _build_index() -> FerexIndex:
+    index = FerexIndex(dims=DIMS, metric="hamming", bits=BITS, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    index.add(rng.integers(0, 1 << BITS, size=(ROWS, DIMS)))
+    return index
+
+
+@given(stream=stream_st)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_policies_serve_bit_identical_across_writes(stream):
+    async def run_policy(policy):
+        rng = np.random.default_rng(SEED + 1)
+        universe = rng.integers(0, 1 << BITS, size=(12, DIMS))
+        writes = rng.integers(
+            0, 1 << BITS, size=(stream.count(-1) or 1, DIMS)
+        )
+        server_index = _build_index()
+        mirror = _build_index()
+        counts = np.zeros(len(universe), dtype=int)
+        writes_done = 0
+        expected_invalidations = 0
+        async with FerexServer(
+            server_index,
+            max_batch_size=4,
+            max_wait_ms=0.2,
+            cache_size=CAPACITY,
+            cache_policy=policy,
+        ) as server:
+            for event in stream:
+                if event == -1:
+                    estimates = None
+                    if policy == "tinylfu" and counts.any():
+                        estimates = [
+                            _estimate(server, universe[i])
+                            for i in np.flatnonzero(counts)
+                        ]
+                    if len(server.cache) > 0:
+                        expected_invalidations += 1
+                    await server.add(writes[writes_done][None])
+                    mirror.add(writes[writes_done][None])
+                    writes_done += 1
+                    assert len(server.cache) == 0
+                    if estimates is not None:
+                        after = [
+                            _estimate(server, universe[i])
+                            for i in np.flatnonzero(counts)
+                        ]
+                        assert after == estimates
+                else:
+                    outcome = await server.search(universe[event], k=K)
+                    counts[event] += 1
+                    expected = mirror.search(universe[event][None], k=K)
+                    assert np.array_equal(outcome.ids, expected.ids[0])
+                    assert np.array_equal(
+                        outcome.distances, expected.distances[0]
+                    )
+            assert server.cache.policy_name == policy
+            snap = server.stats.snapshot()
+            # Only clears that dropped live entries are counted.
+            assert (
+                snap["cache"]["invalidations"] == expected_invalidations
+            )
+
+    def _estimate(server, query):
+        key = QueryCache.key(query, K, 0)
+        return server.cache.policy.sketch.estimate(
+            QueryCache._frequency_key(key)
+        )
+
+    async def main():
+        for policy in ("lru", "tinylfu"):
+            await run_policy(policy)
+
+    asyncio.run(main())

@@ -79,7 +79,9 @@ def test_live_server_snapshot_round_trips(make_index, queries):
     still round-trips strict JSON."""
 
     async def main():
-        async with FerexServer(make_index(), max_wait_ms=0.5) as server:
+        async with FerexServer(
+            make_index(), max_wait_ms=0.5, cache_policy="tinylfu"
+        ) as server:
             await server.search_many(queries, k=3)
             await server.add(np.zeros((1, queries.shape[1]), dtype=int))
             await server.reconfigure(bits=3)
@@ -90,5 +92,12 @@ def test_live_server_snapshot_round_trips(make_index, queries):
             assert snap["n_deadline_drops"] == 0
             assert snap["coalescer_ewma_service_s"] >= 0.0
             assert snap["coalescer_ewma_gap_s"] >= 0.0
+            # The cache section carries both accounting eras and the
+            # live policy state, all JSON-plain.
+            cache = snap["cache"]
+            assert cache["policy"]["policy"] == "tinylfu"
+            assert cache["invalidations"] >= 1  # add + reconfigure
+            assert cache["window_hits"] <= cache["hits"]
+            assert "sketch" in cache["policy"]
 
     asyncio.run(main())

@@ -53,6 +53,30 @@ class TestCollectHeadlines:
             {"speedup": True, "recall_note": "n/a"}
         ) == {}
 
+    def test_cache_bench_headline_is_collected(self):
+        """The BENCH_cache payload's hit-rate ratios are trajectory
+        metrics; its floors block and raw hit counts are not."""
+        found = collect_headlines(
+            {
+                "floors": {
+                    "min_hit_rate_ratio": 1.2,
+                    "gate_zipf_s": 1.1,
+                },
+                "trace_sweep": {
+                    "s_1.1": {
+                        "zipf_s": 1.1,
+                        "lru": {"hit_rate": 0.39, "hits": 23669},
+                        "tinylfu_over_lru_hit_ratio": 1.30,
+                    }
+                },
+                "served": {"tinylfu_over_lru_hit_ratio": 1.15},
+            }
+        )
+        assert found == {
+            "trace_sweep.s_1.1.tinylfu_over_lru_hit_ratio": 1.30,
+            "served.tinylfu_over_lru_hit_ratio": 1.15,
+        }
+
     def test_substring_matches_require_word_boundaries(self):
         found = collect_headlines(
             {
