@@ -84,11 +84,25 @@ POOL_N_QUERIES = 512
 POOL_QUICK_N_QUERIES = 256
 MIN_POOL_SPEEDUP_AT_64 = 1.5
 
+#: Dispatch-transport workload: few stored rows (search is cheap) and
+#: wide vectors (the query batch is big) — the regime where moving the
+#: batch to the worker dominates, i.e. what the slab transport removes.
+TRANSPORT_ROWS = 16
+TRANSPORT_DIMS = 1024
+TRANSPORT_BATCHES = (64, 256)
+TRANSPORT_REPS = 40
+TRANSPORT_QUICK_REPS = 16
+#: Floor: shared-memory slab dispatch >= 1.3x pickled dispatch at
+#: batch >= 64 (enforced when >= 2 cores are available).
+MIN_SLAB_VS_PICKLE_AT_64 = 1.3
+
 #: Explicit workload seeds: stored set, query stream, pool workload.
 SEED_STORED = 31
 SEED_QUERIES = 37
 SEED_POOL_STORED = 41
 SEED_POOL_QUERIES = 43
+SEED_TRANSPORT_STORED = 47
+SEED_TRANSPORT_QUERIES = 53
 
 
 def _effective_cores() -> int:
@@ -289,6 +303,106 @@ def _measure_pool_series(quick: bool) -> dict:
     }
 
 
+def _measure_dispatch(
+    pool: ProcReplicaPool, batch: np.ndarray, reps: int
+) -> dict:
+    """Closed-loop dispatch round-trips through one pool worker; with
+    16 stored rows the index search is near-free, so the time is the
+    transport: batch out, results back."""
+    for _ in range(3):  # warm the worker and (for slabs) their sizing
+        pool.search(batch, k=K)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        pool.search(batch, k=K)
+    elapsed = time.perf_counter() - t0
+    return {
+        "batch_rows": len(batch),
+        "reps": reps,
+        "qps": reps * len(batch) / elapsed,
+        "dispatch_ms": elapsed / reps * 1e3,
+    }
+
+
+def _measure_transport_series(quick: bool) -> dict:
+    """Slab vs pickle dispatch at batch 64/256 on the transport-bound
+    workload — same index, same queries, one worker each, so the only
+    difference between the two series is how the batch crosses the
+    process boundary."""
+    reps = TRANSPORT_QUICK_REPS if quick else TRANSPORT_REPS
+    index = _build_index(
+        rows=TRANSPORT_ROWS, dims=TRANSPORT_DIMS, seed=SEED_TRANSPORT_STORED
+    )
+    queries = _make_queries(
+        max(TRANSPORT_BATCHES),
+        dims=TRANSPORT_DIMS,
+        seed=SEED_TRANSPORT_QUERIES,
+    )
+    series = {}
+    with ProcReplicaPool(
+        index,
+        n_workers=1,
+        transport="slab",
+        slab_batch_rows=max(TRANSPORT_BATCHES),
+    ) as slab_pool:
+        with ProcReplicaPool(
+            index, n_workers=1, transport="pickle"
+        ) as pickle_pool:
+            # Both transports must hand back the same bits before any
+            # of their timings mean anything.
+            direct = index.search(queries, k=K)
+            for pool in (slab_pool, pickle_pool):
+                outcome = pool.search(queries, k=K)
+                assert np.array_equal(outcome.ids, direct.ids)
+                assert np.array_equal(outcome.distances, direct.distances)
+
+            for n in TRANSPORT_BATCHES:
+                batch = queries[:n]
+                slab = _measure_dispatch(slab_pool, batch, reps)
+                pickled = _measure_dispatch(pickle_pool, batch, reps)
+                first = slab["qps"] / pickled["qps"]
+
+                def _retry(batch=batch):
+                    return (
+                        _measure_dispatch(slab_pool, batch, reps)["qps"]
+                        / _measure_dispatch(pickle_pool, batch, reps)["qps"]
+                    )
+
+                best = _deflake_gate(
+                    first,
+                    _retry,
+                    prefer=max,
+                    passes=lambda value, n=n: (
+                        _effective_cores() < 2
+                        or n < 64
+                        or value >= MIN_SLAB_VS_PICKLE_AT_64
+                    ),
+                )
+                series[f"batch_{n}"] = {
+                    "slab": slab,
+                    "pickle": pickled,
+                    "slab_vs_pickle_speedup": first,
+                    "best_slab_vs_pickle_speedup": best,
+                }
+            slab_state = slab_pool.snapshot()
+    return {
+        "workload": {
+            "rows": TRANSPORT_ROWS,
+            "dims": TRANSPORT_DIMS,
+            "bits": BITS,
+            "k": K,
+            "reps": reps,
+            "payload_bytes_per_query": TRANSPORT_DIMS * 8,
+        },
+        "results": series,
+        "slab_state": {
+            "n_slab_dispatches": slab_state["n_slab_dispatches"],
+            "n_slab_grows": slab_state["n_slab_grows"],
+            "slab_request_bytes": slab_state["slab_request_bytes"],
+        },
+        "effective_cores": _effective_cores(),
+    }
+
+
 def run(quick=False):
     """Bench body shared by the pytest and ``python -m`` entry points."""
     sizes = QUICK_N_QUERIES if quick else N_QUERIES
@@ -322,6 +436,7 @@ def run(quick=False):
         }
 
     pool_series = _measure_pool_series(quick)
+    transport_series = _measure_transport_series(quick)
 
     c1_queries = all_queries[: sizes[1]]
 
@@ -350,6 +465,9 @@ def run(quick=False):
         passes=lambda value: value <= MAX_ADAPTIVE_P50_VS_DIRECT,
     )
 
+    headline_slab = transport_series["results"][
+        f"batch_{TRANSPORT_BATCHES[0]}"
+    ]["slab_vs_pickle_speedup"]
     rows_out = [
         [
             f"{r['concurrency']}",
@@ -382,7 +500,9 @@ def run(quick=False):
             f"({POOL_ROWS}x{POOL_DIMS}, {POOL_WORKERS} workers): "
             f"{pool_series['pool']['qps']:.0f} q/s = "
             f"{pool_series['speedup_vs_single_process']:.2f}x "
-            f"single-process"
+            f"single-process | slab dispatch "
+            f"({TRANSPORT_ROWS}x{TRANSPORT_DIMS}, batch "
+            f"{TRANSPORT_BATCHES[0]}): {headline_slab:.2f}x pickle"
         ),
     )
     save_artifact("serving", text)
@@ -412,6 +532,7 @@ def run(quick=False):
             "adaptive_p50_vs_direct_at_concurrency_1": first_adaptive_ratio,
             "adaptive_p50_vs_direct_best": adaptive_p50_vs_direct,
             "pool_series": pool_series,
+            "transport_series": transport_series,
         },
     )
 
@@ -471,6 +592,27 @@ def run(quick=False):
             f"({MIN_POOL_SPEEDUP_AT_64:.1f}x) not enforced, measured "
             f"{pool_speedup:.2f}x"
         )
+
+    # Slab dispatch must beat pickled dispatch wherever the batch is
+    # big enough for the copy to matter (>= 64 rows) and there is a
+    # second core to run the worker on.
+    for n in TRANSPORT_BATCHES:
+        entry = transport_series["results"][f"batch_{n}"]
+        slab_speedup = entry["best_slab_vs_pickle_speedup"]
+        if n < 64:
+            continue
+        if transport_series["effective_cores"] >= 2:
+            assert slab_speedup >= MIN_SLAB_VS_PICKLE_AT_64, (
+                f"slab dispatch only {slab_speedup:.2f}x pickled "
+                f"dispatch at batch {n}; floor is "
+                f"{MIN_SLAB_VS_PICKLE_AT_64:.1f}x"
+            )
+        else:
+            print(
+                f"[bench_serving] single core available; slab floor "
+                f"({MIN_SLAB_VS_PICKLE_AT_64:.1f}x at batch {n}) not "
+                f"enforced, measured {slab_speedup:.2f}x"
+            )
     return results
 
 

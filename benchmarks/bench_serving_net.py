@@ -20,7 +20,12 @@ what the wire costs and what the overload machinery does:
 * **overload shedding** — a burst four times wider than a deliberately
   tiny admission budget: the budget's worth is served, the rest is
   429 + ``Retry-After``, nothing hangs, and the pending gauge drains
-  to zero.
+  to zero;
+* **wire formats** — the same batched search round-trip once as JSON
+  and once as ``application/x-ferex-batch`` binary frames both ways.
+  Floor: binary >= 2x the JSON round-trip throughput (at these dims
+  the JSON series is dominated by number encode/decode, which the
+  binary frames delete).
 
 Every workload is explicitly seeded; timings move run-to-run, answers
 do not.  Results persist to ``results/BENCH_serving_net.json``.
@@ -39,7 +44,14 @@ import numpy as np
 from repro.eval.reporting import format_table, summarize_latencies
 from repro.index import FerexIndex
 from repro.serve import FerexServer
-from repro.serve.net import AdmissionController, HttpClient, NetFrontend
+from repro.serve.net import (
+    BINARY_CONTENT_TYPE,
+    AdmissionController,
+    HttpClient,
+    NetFrontend,
+    pack_array_frame,
+    unpack_result_frame,
+)
 
 from benchmarks._cli import bench_main, save_artifact, save_json_artifact
 
@@ -72,6 +84,14 @@ ADMISSION_MAX_PENDING = 1024
 #: Overload demo: a burst this many times the tiny budget.
 SHED_BUDGET = 8
 SHED_BURST = 32
+
+#: Wire-format series: one batch round-tripped as JSON vs binary
+#: frames.  DIMS (512) is comfortably past the >= 256 regime where
+#: JSON number encoding dominates the round trip.
+FORMAT_BATCH = 64
+FORMAT_REPS = 32
+FORMAT_QUICK_REPS = 16
+MIN_BINARY_VS_JSON = 2.0
 
 SEED_STORED = 61
 SEED_QUERIES = 67
@@ -445,6 +465,88 @@ def _measure_shedding() -> dict:
     return asyncio.run(main())
 
 
+def _measure_wire_formats(index, queries, reps) -> dict:
+    """One client round-tripping the same search batch ``reps`` times,
+    first as JSON and then as binary frames both ways.  Bodies are
+    encoded up front (like ``_measure_wire``); response *decode* is
+    inside the timer for both — a caller can't use an answer it hasn't
+    decoded, and deleting that decode is half the binary story."""
+    import json as _json
+
+    batch = queries[:FORMAT_BATCH]
+    json_body = _json.dumps(
+        {"queries": batch.tolist(), "k": K}
+    ).encode()
+    frame = pack_array_frame(np.ascontiguousarray(batch), k=K)
+    direct = index.search(batch, k=K)
+
+    async def main():
+        async with FerexServer(
+            index,
+            max_batch_size=MAX_BATCH,
+            max_wait_ms=MAX_WAIT_MS,
+            cache_size=0,
+        ) as server:
+            async with NetFrontend(server) as frontend:
+                async with await HttpClient.connect(
+                    "127.0.0.1", frontend.bound_port
+                ) as http:
+
+                    async def json_round_trip():
+                        response = await http.request(
+                            "POST", "/v1/search_batch", body=json_body
+                        )
+                        assert response.status == 200
+                        return response.json()
+
+                    async def binary_round_trip():
+                        response = await http.request(
+                            "POST",
+                            "/v1/search_batch",
+                            body=frame,
+                            content_type=BINARY_CONTENT_TYPE,
+                            headers=[("Accept", BINARY_CONTENT_TYPE)],
+                        )
+                        assert response.status == 200
+                        return unpack_result_frame(response.body)
+
+                    # Warm both paths, and check both decode to the
+                    # direct answer before timing anything.
+                    payload = await json_round_trip()
+                    assert payload["ids"] == direct.ids.tolist()
+                    ids, distances = await binary_round_trip()
+                    assert np.array_equal(ids, direct.ids)
+                    assert np.array_equal(distances, direct.distances)
+
+                    t0 = time.perf_counter()
+                    for _ in range(reps):
+                        await json_round_trip()
+                    json_elapsed = time.perf_counter() - t0
+
+                    t0 = time.perf_counter()
+                    for _ in range(reps):
+                        await binary_round_trip()
+                    binary_elapsed = time.perf_counter() - t0
+
+        per_rep = FORMAT_BATCH * reps
+        return {
+            "batch_rows": FORMAT_BATCH,
+            "reps": reps,
+            "json": {
+                "qps": per_rep / json_elapsed,
+                "round_trip_ms": json_elapsed / reps * 1e3,
+                "request_bytes": len(json_body),
+            },
+            "binary": {
+                "qps": per_rep / binary_elapsed,
+                "round_trip_ms": binary_elapsed / reps * 1e3,
+                "request_bytes": len(frame),
+            },
+        }
+
+    return asyncio.run(main())
+
+
 def run(quick=False):
     """Bench body shared by the pytest and ``python -m`` entry points."""
     n_wire = WIRE_QUICK_N_QUERIES if quick else WIRE_N_QUERIES
@@ -476,6 +578,23 @@ def run(quick=False):
 
     sustained = _measure_sustained(n_sustained)
     shedding = _measure_shedding()
+
+    format_reps = FORMAT_QUICK_REPS if quick else FORMAT_REPS
+    formats = _measure_wire_formats(index, queries, format_reps)
+    first_format_speedup = (
+        formats["binary"]["qps"] / formats["json"]["qps"]
+    )
+
+    def _format_ratio():
+        retry = _measure_wire_formats(index, queries, format_reps)
+        return retry["binary"]["qps"] / retry["json"]["qps"]
+
+    binary_vs_json = _deflake_gate(
+        first_format_speedup,
+        _format_ratio,
+        prefer=max,
+        passes=lambda value: value >= MIN_BINARY_VS_JSON,
+    )
 
     text = format_table(
         ["series", "conc", "requests", "qps", "p50 ms", "p99 ms", "shed"],
@@ -516,13 +635,32 @@ def run(quick=False):
                 "-",
                 f"{shedding['n_shed_429']}",
             ],
+            [
+                "batch as JSON",
+                "1",
+                f"{formats['reps'] * FORMAT_BATCH}",
+                f"{formats['json']['qps']:.0f}",
+                f"{formats['json']['round_trip_ms']:.2f}",
+                "-",
+                "-",
+            ],
+            [
+                "batch as binary",
+                "1",
+                f"{formats['reps'] * FORMAT_BATCH}",
+                f"{formats['binary']['qps']:.0f}",
+                f"{formats['binary']['round_trip_ms']:.2f}",
+                "-",
+                "-",
+            ],
         ],
         title=(
             f"HTTP front-end ({ROWS}x{DIMS}, k={K}): wire p99 = "
             f"{first_tax:.2f}x in-process p99 at concurrency "
             f"{WIRE_CONCURRENCY}; overload sheds "
             f"{shedding['n_shed_429']}/{SHED_BURST} beyond a "
-            f"{SHED_BUDGET}-deep budget"
+            f"{SHED_BUDGET}-deep budget; binary frames "
+            f"{first_format_speedup:.2f}x JSON round-trip"
         ),
     )
     save_artifact("serving_net", text)
@@ -553,6 +691,13 @@ def run(quick=False):
             "wire_p99_vs_inproc_p99_best": wire_tax,
             "sustained": sustained,
             "shedding": shedding,
+            "wire_formats": {
+                **formats,
+                # First, unretried measurement (the trajectory
+                # signal); the gate uses the de-flaked best.
+                "binary_vs_json_wire_speedup": first_format_speedup,
+                "best_binary_vs_json_wire_speedup": binary_vs_json,
+            },
         },
     )
 
@@ -586,9 +731,18 @@ def run(quick=False):
     assert shedding["n_served"] >= SHED_BUDGET
     assert shedding["pending_after_drain"] == 0
 
+    # Floor 4: the binary frames must pay for their existence — at
+    # these dims they delete the dominant JSON number encode/decode,
+    # so >= 2x the JSON round-trip throughput.
+    assert binary_vs_json >= MIN_BINARY_VS_JSON, (
+        f"binary frames only {binary_vs_json:.2f}x the JSON round-trip "
+        f"throughput at dims {DIMS}; floor is {MIN_BINARY_VS_JSON:.1f}x"
+    )
+
     return {
         "wire_tax": wire_tax,
         "sustained_ops_per_s": sustained["ops_per_s"],
+        "binary_vs_json": binary_vs_json,
     }
 
 

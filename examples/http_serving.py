@@ -12,8 +12,10 @@ end to end:
    queue-depth gauge);
 3. wire traffic through `HttpClient`: single search, a coalesced
    burst that drives the autoscaler into growing the pool, a streamed
-   NDJSON bulk add, an overload wave that gets shed, and the
-   `/metrics` document that reports all of it.
+   NDJSON bulk add, a binary-framed batch search over the
+   `application/x-ferex-batch` fast path (fixed 28-byte header + raw
+   array bytes each way — no JSON number parsing), an overload wave
+   that gets shed, and the `/metrics` document that reports all of it.
 
 Every wire answer is bit-identical to `FerexIndex.search` on the same
 data — the wire is a transport, not an approximation.
@@ -134,6 +136,24 @@ async def main():
                 f"NDJSON add -> {response.status}, ids "
                 f"{response.json()['ids'][:3]}..., ntotal now "
                 f"{index.ntotal} (generation {server.write_generation})"
+            )
+
+            # --- binary frames: the zero-copy wire format -------------
+            # The same batch as one application/x-ferex-batch frame
+            # each way: raw little-endian array bytes behind a fixed
+            # header, decoded straight into numpy.  Same coalescer,
+            # same answers — non-finite padding crosses natively
+            # instead of as JSON null.
+            ids, distances = await client.search_batch_binary(
+                queries, k=K
+            )
+            assert np.array_equal(ids, index.search(queries, k=K).ids)
+            new_rows = rng.integers(0, 1 << BITS, size=(4, DIMS))
+            new_ids = await client.add_binary(new_rows)
+            print(
+                f"binary search_batch -> {ids.shape} ids "
+                f"(bit-identical to direct), binary add -> ids "
+                f"{new_ids.tolist()}"
             )
 
             # --- overload: a wave beyond the pending budget -----------

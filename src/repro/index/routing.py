@@ -649,14 +649,16 @@ class RoutedBackend:
         cand_pos = np.full((n, cap), _PAD_POSITION, dtype=np.int64)
         cand_dist = np.full((n, cap), np.inf)
         fill = np.zeros(n, dtype=np.int64)
+        # Quantise once for the whole batch; the per-cluster code is an
+        # elementwise function of the query row, so slicing rows out of
+        # the precomputed table is bit-identical to re-encoding them.
+        sub_queries = self._sub_codes(queries)
         for ci, cluster in enumerate(self._clusters):
             rows = np.flatnonzero(member[:, ci])
             kc = min(k, cluster.n_live)
             if not len(rows) or kc == 0:
                 continue
-            local, dist = cluster.sub.search(
-                self._sub_codes(queries[rows]), kc
-            )
+            local, dist = cluster.sub.search(sub_queries[rows], kc)
             cols = fill[rows, None] + np.arange(kc)[None, :]
             cand_pos[rows[:, None], cols] = cluster.globals_[local]
             cand_dist[rows[:, None], cols] = dist
@@ -679,14 +681,13 @@ class RoutedBackend:
         cap = int(contributions.sum(axis=1).max())
         cand_pos = np.full((n, cap), _PAD_POSITION, dtype=np.int64)
         fill = np.zeros(n, dtype=np.int64)
+        sub_queries = self._sub_codes(queries)
         for ci, cluster in enumerate(self._clusters):
             rows = np.flatnonzero(member[:, ci])
             cc = min(nominate, cluster.n_live)
             if not len(rows) or cc == 0:
                 continue
-            local = cluster.sub.shortlist(
-                self._sub_codes(queries[rows]), cc
-            )
+            local = cluster.sub.shortlist(sub_queries[rows], cc)
             cols = fill[rows, None] + np.arange(cc)[None, :]
             cand_pos[rows[:, None], cols] = cluster.globals_[local]
             fill[rows] += cc
@@ -717,13 +718,14 @@ class RoutedBackend:
         cand_pos = np.full((n, cap), _PAD_POSITION, dtype=np.int64)
         cand_units = np.full((n, cap), np.inf)
         fill = np.zeros(n, dtype=np.int64)
+        sub_queries = self._sub_codes(queries)
         for ci, cluster in enumerate(self._clusters):
             rows = np.flatnonzero(member[:, ci])
             cc = min(c, cluster.n_live)
             if not len(rows) or cc == 0:
                 continue
             local, units = cluster.sub.shortlist(
-                self._sub_codes(queries[rows]), cc, with_units=True
+                sub_queries[rows], cc, with_units=True
             )
             cols = fill[rows, None] + np.arange(cc)[None, :]
             cand_pos[rows[:, None], cols] = cluster.globals_[local]

@@ -18,14 +18,26 @@ from .admission import AdmissionController, AdmissionError
 from .autoscaler import Autoscaler
 from .client import HttpClient, Response
 from .frontend import NetFrontend
-from .protocol import HttpError
+from .protocol import (
+    BINARY_CONTENT_TYPE,
+    HttpError,
+    pack_array_frame,
+    pack_result_frame,
+    unpack_array_frame,
+    unpack_result_frame,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
     "Autoscaler",
+    "BINARY_CONTENT_TYPE",
     "HttpClient",
     "HttpError",
     "NetFrontend",
     "Response",
+    "pack_array_frame",
+    "pack_result_frame",
+    "unpack_array_frame",
+    "unpack_result_frame",
 ]

@@ -14,6 +14,16 @@ import asyncio
 import json
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .protocol import (
+    BINARY_CONTENT_TYPE,
+    HttpError,
+    pack_array_frame,
+    unpack_array_frame,
+    unpack_result_frame,
+)
+
 
 class Response:
     """One parsed response: status, headers, decoded JSON (or bytes)."""
@@ -98,6 +108,57 @@ class HttpClient:
         )
         await self._writer.drain()
         return await self._read_response()
+
+    # ------------------------------------------------------------------
+    # Binary fast path (application/x-ferex-batch)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _raise_for_status(response: Response) -> None:
+        try:
+            message = response.json()["message"]
+        except Exception:
+            message = response.body.decode("utf-8", "replace")
+        raise HttpError(response.status, message)
+
+    async def search_batch_binary(
+        self,
+        queries,
+        k: int = 1,
+        deadline_ms: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``POST /v1/search_batch`` as one binary frame each way;
+        returns ``(ids, distances)`` numpy arrays.  Raises
+        :class:`HttpError` on any non-200 answer (sheds included)."""
+        frame = pack_array_frame(np.ascontiguousarray(queries), k=int(k))
+        headers = [("Accept", BINARY_CONTENT_TYPE)]
+        if deadline_ms is not None:
+            headers.append(("X-Deadline-Ms", f"{deadline_ms:g}"))
+        response = await self.request(
+            "POST",
+            "/v1/search_batch",
+            body=frame,
+            content_type=BINARY_CONTENT_TYPE,
+            headers=headers,
+        )
+        if response.status != 200:
+            self._raise_for_status(response)
+        return unpack_result_frame(response.body)
+
+    async def add_binary(self, vectors) -> np.ndarray:
+        """``POST /v1/add`` as one binary frame; returns the assigned
+        ids array."""
+        frame = pack_array_frame(np.ascontiguousarray(vectors))
+        response = await self.request(
+            "POST",
+            "/v1/add",
+            body=frame,
+            content_type=BINARY_CONTENT_TYPE,
+            headers=[("Accept", BINARY_CONTENT_TYPE)],
+        )
+        if response.status != 200:
+            self._raise_for_status(response)
+        ids, _ = unpack_array_frame(response.body)
+        return ids
 
     async def _read_response(self) -> Response:
         head = await self._reader.readuntil(b"\r\n\r\n")

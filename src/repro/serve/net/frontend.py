@@ -16,13 +16,20 @@ Endpoints
 ``POST /v1/search_batch``
     ``{"queries": [[...], ...], "k": 3}`` → stacked rows.  Each row
     rides the coalescer independently, so one wire batch micro-batches
-    with every other request in flight.
+    with every other request in flight.  Also speaks the binary
+    ``application/x-ferex-batch`` content type (one array frame in;
+    ``Accept: application/x-ferex-batch`` gets a result frame back) —
+    raw little-endian array bytes instead of per-component JSON; see
+    :mod:`repro.serve.net.protocol` for the frame layout.
 ``POST /v1/add`` / ``POST /v1/remove``
     Bulk writes through the single-writer path.  JSON bodies
     (``{"vectors": [[...]]}`` / ``{"ids": [...]}``) or streaming
     NDJSON (``application/x-ndjson``, one ``{"vector": [...]}`` /
     ``{"id": ...}`` object per line) applied chunk-by-chunk as the
     body arrives — a bulk load larger than memory never buffers whole.
+    ``/v1/add`` additionally accepts a binary array frame
+    (``application/x-ferex-batch``) and mirrors the assigned ids as a
+    frame under the same ``Accept``.
 ``POST /v1/compact`` / ``POST /v1/reconfigure``
     Maintenance writes; reconfigure takes ``{"bits":, "metric":,
     "banks":}`` and re-voltages online, under live wire traffic — or
@@ -71,13 +78,17 @@ from ..server import FerexServer
 from .admission import AdmissionController, AdmissionError
 from .autoscaler import Autoscaler
 from .protocol import (
+    BINARY_CONTENT_TYPE,
     HttpError,
     Request,
     error_body,
     iter_body_lines,
     json_body,
+    pack_array_frame,
+    pack_result_frame,
     read_body,
     read_request,
+    unpack_array_frame,
     write_response,
 )
 
@@ -155,6 +166,11 @@ class NetFrontend:
         self.n_requests = 0
         self.n_shed_429 = 0
         self.n_shed_503 = 0
+        #: Request/response body bytes moved over the wire (heads not
+        #: counted — the payload traffic is what capacity planning
+        #: needs).
+        self.bytes_in = 0
+        self.bytes_out = 0
         self.status_counts: Counter = Counter()
         self.path_counts: Counter = Counter()
         self._routes = {
@@ -261,11 +277,23 @@ class NetFrontend:
                                 f"{request.path}",
                             )
                         raise HttpError(404, f"no route {request.path}")
-                    status, payload = await handler(request, reader)
-                    body = json_body(payload)
+                    result = await handler(request, reader)
+                    if len(result) == 3:
+                        # Binary-capable handlers return the encoded
+                        # body + content type themselves.
+                        status, body, content_type = result
+                    else:
+                        status, payload = result
+                        body = json_body(payload)
+                        content_type = "application/json"
                     self.status_counts[status] += 1
+                    self.bytes_out += len(body)
                     write_response(
-                        writer, status, body, keep_alive=keep_alive
+                        writer,
+                        status,
+                        body,
+                        content_type=content_type,
+                        keep_alive=keep_alive,
                     )
                 except HttpError as exc:
                     # A half-read body would parse as the next
@@ -341,10 +369,12 @@ class NetFrontend:
             # Fractional seconds: the spec's integer-seconds field is
             # too coarse for sub-second micro-batch drains.
             extra.append(("Retry-After", f"{exc.retry_after_s:.3f}"))
+        body = error_body(exc.status, exc.message)
+        self.bytes_out += len(body)
         write_response(
             writer,
             exc.status,
-            error_body(exc.status, exc.message),
+            body,
             keep_alive=keep_alive,
             extra_headers=extra,
         )
@@ -352,8 +382,13 @@ class NetFrontend:
     # ------------------------------------------------------------------
     # Request plumbing
     # ------------------------------------------------------------------
-    async def _read_json(self, request: Request, reader) -> dict:
+    async def _read_raw(self, request: Request, reader) -> bytes:
         body = await read_body(reader, request, self.max_body_bytes)
+        self.bytes_in += len(body)
+        return body
+
+    async def _read_json(self, request: Request, reader) -> dict:
+        body = await self._read_raw(request, reader)
         if not body:
             return {}
         try:
@@ -400,6 +435,26 @@ class NetFrontend:
             return nullcontext()
         return self.admission.admit(rows)
 
+    @staticmethod
+    def _wants_binary(request: Request) -> bool:
+        """Response format is the client's ``Accept`` choice —
+        independent of the request body's own content type."""
+        return BINARY_CONTENT_TYPE in request.headers.get("accept", "")
+
+    async def _read_binary_2d(
+        self, request: Request, reader, what: str
+    ) -> Tuple[np.ndarray, int]:
+        """Read and decode one binary array frame that must be 2-D."""
+        body = await self._read_raw(request, reader)
+        array, k = unpack_array_frame(body)
+        if array.ndim != 2:
+            raise HttpError(
+                400,
+                f"binary {what} frame must carry a 2-D array "
+                f"(cols > 0), got shape {array.shape}",
+            )
+        return array, k
+
     # ------------------------------------------------------------------
     # Read endpoints
     # ------------------------------------------------------------------
@@ -420,19 +475,36 @@ class NetFrontend:
         }
 
     async def _handle_search_batch(self, request: Request, reader):
-        payload = await self._read_json(request, reader)
-        if "queries" not in payload:
-            raise HttpError(400, "body must carry 'queries'")
-        k = self._parse_k(payload)
-        deadline = self._deadline(payload, request)
-        queries = np.asarray(payload["queries"])
-        if queries.ndim != 2:
-            raise HttpError(
-                400, f"queries must be a 2-D array, got {queries.shape}"
+        if request.content_type == BINARY_CONTENT_TYPE:
+            queries, k = await self._read_binary_2d(
+                request, reader, "search_batch"
             )
+            if k < 1:
+                raise HttpError(
+                    400, f"binary frame k must be >= 1, got {k}"
+                )
+            deadline = self._deadline({}, request)
+        else:
+            payload = await self._read_json(request, reader)
+            if "queries" not in payload:
+                raise HttpError(400, "body must carry 'queries'")
+            k = self._parse_k(payload)
+            deadline = self._deadline(payload, request)
+            queries = np.asarray(payload["queries"])
+            if queries.ndim != 2:
+                raise HttpError(
+                    400,
+                    f"queries must be a 2-D array, got {queries.shape}",
+                )
         with self._admit(max(len(queries), 1)):
             outcome = await self._server.search_many(
                 queries, k=k, deadline=deadline
+            )
+        if self._wants_binary(request):
+            return (
+                200,
+                pack_result_frame(outcome.ids, outcome.distances),
+                BINARY_CONTENT_TYPE,
             )
         return 200, {
             "ids": [[int(i) for i in row] for row in outcome.ids.tolist()],
@@ -448,13 +520,27 @@ class NetFrontend:
     async def _handle_add(self, request: Request, reader):
         if request.content_type == "application/x-ndjson":
             return await self._streamed_add(request, reader)
-        payload = await self._read_json(request, reader)
-        if "vectors" not in payload:
-            raise HttpError(400, "body must carry 'vectors'")
-        ids = payload.get("ids")
-        assigned = await self._server.add(
-            np.asarray(payload["vectors"]), ids=ids
-        )
+        if request.content_type == BINARY_CONTENT_TYPE:
+            vectors, _ = await self._read_binary_2d(
+                request, reader, "add"
+            )
+            assigned = await self._server.add(vectors)
+        else:
+            payload = await self._read_json(request, reader)
+            if "vectors" not in payload:
+                raise HttpError(400, "body must carry 'vectors'")
+            ids = payload.get("ids")
+            assigned = await self._server.add(
+                np.asarray(payload["vectors"]), ids=ids
+            )
+        if self._wants_binary(request):
+            return (
+                200,
+                pack_array_frame(
+                    np.ascontiguousarray(assigned, dtype="<i8")
+                ),
+                BINARY_CONTENT_TYPE,
+            )
         return 200, {
             "ids": [int(i) for i in assigned.tolist()],
             "count": int(len(assigned)),
@@ -510,6 +596,7 @@ class NetFrontend:
             if len(rows) >= self.write_chunk_rows:
                 await flush()
         await flush()
+        self.bytes_in += request.content_length
         return 200, {"ids": assigned, "count": len(assigned)}
 
     async def _handle_remove(self, request: Request, reader):
@@ -551,6 +638,7 @@ class NetFrontend:
             if len(ids) >= self.write_chunk_rows:
                 await flush()
         await flush()
+        self.bytes_in += request.content_length
         return 200, {"removed": removed}
 
     async def _handle_compact(self, request: Request, reader):
@@ -644,6 +732,8 @@ class NetFrontend:
             "n_requests": int(self.n_requests),
             "n_shed_429": int(self.n_shed_429),
             "n_shed_503": int(self.n_shed_503),
+            "bytes_in": int(self.bytes_in),
+            "bytes_out": int(self.bytes_out),
             "status_counts": {
                 str(int(status)): int(count)
                 for status, count in sorted(self.status_counts.items())

@@ -11,7 +11,29 @@ and ``curl`` to talk to it:
 * keep-alive connections (HTTP/1.1 default; ``Connection: close``
   honoured both ways),
 * JSON responses with explicit ``Content-Length`` and optional
-  ``Retry-After`` (the admission-control and load-shedding header).
+  ``Retry-After`` (the admission-control and load-shedding header),
+* the ``application/x-ferex-batch`` binary frame codec (below) — raw
+  little-endian array bytes behind a fixed header, the zero-copy
+  alternative to per-component JSON numbers.
+
+Binary frame layout (all fields little-endian)::
+
+    offset  size  field
+    0       4     magic   b"FXB1"
+    4       2     version u16 (currently 1)
+    6       1     kind    u8: 1 = array frame, 2 = result frame
+    7       1     dtype   u8 code (array frames; result frames send 0)
+    8       8     rows    u64
+    16      8     cols    u64 (0 = the array is 1-D)
+    24      4     k       u32 (requested k on requests, result k on
+                          result frames)
+    28      ...   payload: the contiguous C-order array bytes — array
+                  frames carry one array; result frames carry int64
+                  ids then float64 distances, both (rows, cols)
+
+Every malformation — truncated header, bad magic, unknown version or
+dtype code, payload bytes disagreeing with the header shape — raises a
+typed :class:`HttpError` 400, never a hang or a 500.
 
 Anything smarter — routing, validation, admission — lives in
 :mod:`repro.serve.net.frontend`; this module knows only bytes.
@@ -21,7 +43,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 from typing import AsyncIterator, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 STATUS_PHRASES = {
     200: "OK",
@@ -39,6 +64,33 @@ STATUS_PHRASES = {
 
 #: Hard cap on the request head (request line + headers).
 MAX_HEAD_BYTES = 16 * 1024
+
+#: The binary wire content type (requests and, via ``Accept``,
+#: responses) on ``/v1/search_batch`` and ``/v1/add``.
+BINARY_CONTENT_TYPE = "application/x-ferex-batch"
+BINARY_MAGIC = b"FXB1"
+BINARY_VERSION = 1
+#: Frame kinds: one raw array / an (ids, distances) result pair.
+FRAME_ARRAY = 1
+FRAME_RESULT = 2
+_FRAME = struct.Struct("<4sHBBQQI")
+FRAME_HEADER_BYTES = _FRAME.size
+#: Wire dtype codes.  Everything is explicit-little-endian (or
+#: byte-order-free for the 1-byte types): a big-endian peer must swap
+#: before packing, not negotiate.
+DTYPE_BY_CODE = {
+    1: "<i8",
+    2: "<f8",
+    3: "<i4",
+    4: "<f4",
+    5: "<i2",
+    6: "<u2",
+    7: "|i1",
+    8: "|u1",
+}
+CODE_BY_DTYPE = {
+    np.dtype(spec).str: code for code, spec in DTYPE_BY_CODE.items()
+}
 
 
 class HttpError(Exception):
@@ -248,3 +300,140 @@ def error_body(status: int, message: str) -> bytes:
             "message": str(message),
         }
     )
+
+
+# ----------------------------------------------------------------------
+# application/x-ferex-batch frame codec
+# ----------------------------------------------------------------------
+def pack_array_frame(array: np.ndarray, k: int = 0) -> bytes:
+    """Encode one 1-D/2-D numpy array as a binary array frame.
+
+    ``k`` rides the header so a search request is a single frame (the
+    queries array + the requested neighbour count)."""
+    array = np.ascontiguousarray(array)
+    code = CODE_BY_DTYPE.get(array.dtype.str)
+    if code is None:
+        # Native-order dtypes on little-endian hosts already match the
+        # "<" specs above; anything else (big-endian, bool, object)
+        # must be converted by the caller.
+        raise ValueError(
+            f"dtype {array.dtype} is not wire-encodable; use one of "
+            f"{sorted(DTYPE_BY_CODE.values())}"
+        )
+    if array.ndim == 1:
+        rows, cols = array.shape[0], 0
+    elif array.ndim == 2:
+        rows, cols = array.shape
+    else:
+        raise ValueError(
+            f"binary frames carry 1-D or 2-D arrays, got shape "
+            f"{array.shape}"
+        )
+    header = _FRAME.pack(
+        BINARY_MAGIC, BINARY_VERSION, FRAME_ARRAY, code, rows, cols, int(k)
+    )
+    return header + array.tobytes()
+
+
+def pack_result_frame(ids: np.ndarray, distances: np.ndarray) -> bytes:
+    """Encode one ``(ids, distances)`` search result as a result frame.
+
+    Non-finite distances (the ``(-1, inf)`` padding) ride natively —
+    no JSON ``null`` mapping on this path."""
+    ids = np.ascontiguousarray(ids, dtype="<i8")
+    distances = np.ascontiguousarray(distances, dtype="<f8")
+    if ids.ndim != 2 or ids.shape != distances.shape:
+        raise ValueError(
+            f"result frames carry matching 2-D (n, k) arrays, got "
+            f"{ids.shape} and {distances.shape}"
+        )
+    rows, k = ids.shape
+    header = _FRAME.pack(
+        BINARY_MAGIC, BINARY_VERSION, FRAME_RESULT, 0, rows, k, k
+    )
+    return header + ids.tobytes() + distances.tobytes()
+
+
+def _unpack_header(body: bytes, expect_kind: int) -> Tuple[int, int, int, int]:
+    if len(body) < FRAME_HEADER_BYTES:
+        raise HttpError(
+            400,
+            f"binary frame truncated: {len(body)} bytes is shorter "
+            f"than the {FRAME_HEADER_BYTES}-byte header",
+        )
+    magic, version, kind, code, rows, cols, k = _FRAME.unpack_from(body)
+    if magic != BINARY_MAGIC:
+        raise HttpError(
+            400,
+            f"bad binary frame magic {magic!r} (expected "
+            f"{BINARY_MAGIC!r})",
+        )
+    if version != BINARY_VERSION:
+        raise HttpError(
+            400,
+            f"unsupported binary frame version {version} (this server "
+            f"speaks version {BINARY_VERSION})",
+        )
+    if kind != expect_kind:
+        raise HttpError(
+            400,
+            f"expected a frame of kind {expect_kind}, got kind {kind}",
+        )
+    return code, rows, cols, k
+
+
+def unpack_array_frame(body: bytes) -> Tuple[np.ndarray, int]:
+    """Decode one array frame straight into numpy; returns
+    ``(array, k)``.  The array is a zero-copy read-only view over the
+    body bytes."""
+    code, rows, cols, k = _unpack_header(body, FRAME_ARRAY)
+    spec = DTYPE_BY_CODE.get(code)
+    if spec is None:
+        raise HttpError(
+            400,
+            f"unknown binary dtype code {code} (known: "
+            f"{sorted(DTYPE_BY_CODE)})",
+        )
+    dtype = np.dtype(spec)
+    count = rows * cols if cols else rows
+    expected = count * dtype.itemsize
+    payload = len(body) - FRAME_HEADER_BYTES
+    if payload != expected:
+        raise HttpError(
+            400,
+            f"binary frame carries {payload} payload bytes but its "
+            f"header announces {rows}x{cols or 1} {dtype.name} = "
+            f"{expected} bytes",
+        )
+    array = np.frombuffer(
+        body, dtype=dtype, count=count, offset=FRAME_HEADER_BYTES
+    )
+    if cols:
+        array = array.reshape(rows, cols)
+    return array, int(k)
+
+
+def unpack_result_frame(body: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode one result frame; returns copied ``(ids, distances)``
+    (the caller usually outlives the response buffer)."""
+    _, rows, cols, _ = _unpack_header(body, FRAME_RESULT)
+    count = rows * cols
+    expected = count * 16
+    payload = len(body) - FRAME_HEADER_BYTES
+    if payload != expected:
+        raise HttpError(
+            400,
+            f"binary result frame carries {payload} payload bytes but "
+            f"its header announces {rows}x{cols} id+distance pairs = "
+            f"{expected} bytes",
+        )
+    ids = np.frombuffer(
+        body, dtype="<i8", count=count, offset=FRAME_HEADER_BYTES
+    ).reshape(rows, cols)
+    distances = np.frombuffer(
+        body,
+        dtype="<f8",
+        count=count,
+        offset=FRAME_HEADER_BYTES + count * 8,
+    ).reshape(rows, cols)
+    return ids.copy(), distances.copy()

@@ -26,6 +26,20 @@ kernel-reaped) is detected by its broken pipe, respawned from the
 current manifest, and the request retries on another replica — reads
 are idempotent, so the caller just sees the answer.  Only when respawns
 themselves fail does the pool raise :class:`PoolBrokenError`.
+
+Dispatch transport: with ``transport="slab"`` (the default) each worker
+owns a preallocated request/response slab pair in shared memory.  The
+parent writes the query batch into the request slab and sends only a
+tiny header tuple ``(op, shape, dtype, k, generation)`` over the pipe;
+the worker wraps the slab bytes zero-copy, searches, writes
+``ids``/``distances`` straight into the response slab and replies with
+a header.  Slabs grow (and are re-announced to the worker) on
+overflow; payloads that cannot ride a slab at all — object dtypes,
+slab allocation failure — fall back to the original pickle-over-pipe
+path, which ``transport="pickle"`` selects unconditionally for
+debugging.  Results are copied on return: the worker re-enters the
+idle queue immediately, so a zero-copy view would race the very next
+dispatch into the same slab.
 """
 
 from __future__ import annotations
@@ -34,13 +48,20 @@ import gc
 import multiprocessing
 import queue
 import threading
+from math import prod
 from typing import List, Optional
+
+import numpy as np
 
 from ..index import FerexIndex, SearchOutcome
 from .shm import (
+    DispatchSlabs,
     PublishedSegments,
     SegmentManifest,
+    SlabManifest,
     attach_index,
+    attach_slabs,
+    create_slabs,
     publish_index,
 )
 
@@ -61,6 +82,22 @@ class _WorkerUnresponsive(Exception):
     a crash: retire, respawn, retry)."""
 
 
+class _SlabUnavailable(Exception):
+    """Internal: a slab could not be allocated or announced for this
+    dispatch; the batch falls back to the pickle path (the worker
+    itself is healthy)."""
+
+
+#: Bytes per ``(id, distance)`` result cell: int64 + float64.
+_RESULT_CELL_BYTES = 16
+
+
+def _slab_capacity(need: int) -> int:
+    """Round a byte requirement up to the next power of two (floored at
+    4 KiB) so repeated marginal overflows don't re-slab every batch."""
+    return max(4096, 1 << max(0, int(need) - 1).bit_length())
+
+
 def _portable_exc(exc: BaseException) -> BaseException:
     """Best-effort picklable stand-in for an arbitrary exception."""
     try:
@@ -72,11 +109,54 @@ def _portable_exc(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _worker_main(conn, manifest: SegmentManifest) -> None:
-    """Worker process body: attach the published snapshot, then serve
-    ``search``/``republish``/``ping`` requests until closed."""
+def _slab_search(index, slabs, message) -> tuple:
+    """Serve one slab-transport search inside the worker: wrap the
+    request slab zero-copy, search, write the results into the response
+    slab, return the reply header."""
+    _, shape, dtype_str, k, generation = message
+    queries = np.frombuffer(
+        slabs.request.buf, dtype=np.dtype(dtype_str), count=prod(shape)
+    ).reshape(shape)
+    try:
+        outcome = index.search(queries, k=k)
+    finally:
+        del queries  # release the buffer export before any re-slab
+    ids = np.ascontiguousarray(outcome.ids, dtype="<i8")
+    distances = np.ascontiguousarray(outcome.distances, dtype="<f8")
+    if ids.nbytes + distances.nbytes > slabs.response.size:
+        # The parent pre-sizes the response slab from (n, k); reaching
+        # this means the two sides disagree about the result shape.
+        raise RuntimeError(
+            f"result of {ids.nbytes + distances.nbytes} bytes overflows "
+            f"the {slabs.response.size}-byte response slab"
+        )
+    out_ids = np.frombuffer(
+        slabs.response.buf, dtype="<i8", count=ids.size
+    ).reshape(ids.shape)
+    out_ids[...] = ids
+    out_distances = np.frombuffer(
+        slabs.response.buf,
+        dtype="<f8",
+        count=distances.size,
+        offset=ids.nbytes,
+    ).reshape(distances.shape)
+    out_distances[...] = distances
+    del out_ids, out_distances
+    return ("ok_slab", tuple(ids.shape), generation)
+
+
+def _worker_main(
+    conn,
+    manifest: SegmentManifest,
+    slab_manifest: Optional[SlabManifest] = None,
+) -> None:
+    """Worker process body: attach the published snapshot (and, under
+    the slab transport, the dispatch slabs), then serve
+    ``search``/``search_slab``/``republish``/``ping`` requests until
+    closed."""
     index = None
     attached = None
+    slabs: Optional[DispatchSlabs] = None
 
     def _attach(new_manifest):
         nonlocal index, attached
@@ -92,6 +172,8 @@ def _worker_main(conn, manifest: SegmentManifest) -> None:
     try:
         try:
             _attach(manifest)
+            if slab_manifest is not None:
+                slabs = attach_slabs(slab_manifest)
         except Exception as exc:
             conn.send(("attach_error", _portable_exc(exc)))
             return
@@ -109,6 +191,34 @@ def _worker_main(conn, manifest: SegmentManifest) -> None:
                     conn.send(("ok", outcome.ids, outcome.distances))
                 except Exception as exc:
                     conn.send(("error", _portable_exc(exc)))
+            elif op == "search_slab":
+                try:
+                    if slabs is None:
+                        raise RuntimeError(
+                            "slab dispatch reached a worker with no "
+                            "slabs attached"
+                        )
+                    if message[4] != attached.manifest.generation:
+                        raise RuntimeError(
+                            f"slab dispatch stamped generation "
+                            f"{message[4]} reached a worker serving "
+                            f"{attached.manifest.generation}"
+                        )
+                    conn.send(_slab_search(index, slabs, message))
+                except Exception as exc:
+                    conn.send(("error", _portable_exc(exc)))
+            elif op == "reslab":
+                _, new_slab_manifest = message
+                try:
+                    old_slabs, slabs = slabs, None
+                    if old_slabs is not None:
+                        gc.collect()
+                        old_slabs.close()
+                    slabs = attach_slabs(new_slab_manifest)
+                except Exception as exc:
+                    conn.send(("attach_error", _portable_exc(exc)))
+                    return
+                conn.send(("slab_ready",))
             elif op == "republish":
                 _, new_manifest = message
                 try:
@@ -135,23 +245,34 @@ def _worker_main(conn, manifest: SegmentManifest) -> None:
                 return
     finally:
         index = None
+        gc.collect()
         if attached is not None:
-            gc.collect()
             attached.close()
+        if slabs is not None:
+            slabs.close()
         conn.close()
 
 
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("process", "conn", "ordinal", "served")
+    __slots__ = ("process", "conn", "ordinal", "served", "slabs")
 
-    def __init__(self, process, conn, ordinal: int):
+    def __init__(
+        self,
+        process,
+        conn,
+        ordinal: int,
+        slabs: Optional[DispatchSlabs] = None,
+    ):
         self.process = process
         self.conn = conn
         self.ordinal = ordinal
         #: Searches this worker has answered (parent-side count).
         self.served = 0
+        #: This worker's dispatch slab pair (parent-owned; ``None``
+        #: under the pickle transport).
+        self.slabs = slabs
 
     def __repr__(self) -> str:
         alive = self.process.is_alive()
@@ -187,6 +308,17 @@ class ProcReplicaPool:
         republish — forever; missing the deadline is treated exactly
         like a crash (retire, respawn, retry elsewhere).  Generous by
         default: two orders of magnitude above any bench batch.
+    transport:
+        ``"slab"`` (default) dispatches query batches through per-worker
+        shared-memory slabs — the parent memcpys the batch once and
+        sends only a header tuple over the pipe; ``"pickle"`` keeps the
+        original pickle-over-pipe path (debugging, and the automatic
+        fallback for payloads a slab cannot carry).
+    slab_batch_rows:
+        Initial request-slab sizing: rows × ``index.dims`` × 8 bytes
+        (the coalescer's ``max_batch_size`` is the natural value).
+        Slabs grow on overflow regardless, so this is a hint, not a
+        cap.
 
     Thread safety: :meth:`search` may be called from many threads (the
     server's executor does); workers are checked out of an idle queue,
@@ -200,14 +332,37 @@ class ProcReplicaPool:
         start_method: str = "spawn",
         name_prefix: str = "ferex",
         search_timeout_s: float = 120.0,
+        transport: str = "slab",
+        slab_batch_rows: int = 64,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if search_timeout_s <= 0:
             raise ValueError("search_timeout_s must be > 0")
+        if transport not in ("slab", "pickle"):
+            raise ValueError(
+                f"transport must be 'slab' or 'pickle', got {transport!r}"
+            )
+        if slab_batch_rows < 1:
+            raise ValueError("slab_batch_rows must be >= 1")
         self.search_timeout_s = search_timeout_s
         self.index = index
         self.n_workers = n_workers
+        self.transport = transport
+        #: Dispatches that rode a slab / fell back to pickle (under
+        #: ``transport="pickle"`` every dispatch counts as a fallback).
+        self.n_slab_dispatches = 0
+        self.n_pickle_fallbacks = 0
+        #: Slab-overflow regrows (per worker-slab pair).
+        self.n_slab_grows = 0
+        # High-water slab sizing: respawned/grown workers start at the
+        # largest capacity any batch has needed so far.
+        self._slab_request_bytes = _slab_capacity(
+            slab_batch_rows * max(1, index.dims) * 8
+        )
+        self._slab_response_bytes = _slab_capacity(
+            slab_batch_rows * 16 * _RESULT_CELL_BYTES
+        )
         self._name_prefix = name_prefix
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()  # _published / _workers / flags
@@ -265,6 +420,12 @@ class ProcReplicaPool:
             "n_workers": self.n_workers,
             "generation": self.generation,
             "respawns": self.respawns,
+            "transport": self.transport,
+            "n_slab_dispatches": self.n_slab_dispatches,
+            "n_pickle_fallbacks": self.n_pickle_fallbacks,
+            "n_slab_grows": self.n_slab_grows,
+            "slab_request_bytes": self._slab_request_bytes,
+            "slab_response_bytes": self._slab_response_bytes,
             "served_per_worker": [w.served for w in self._workers],
         }
 
@@ -278,18 +439,34 @@ class ProcReplicaPool:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn_worker(self, manifest: SegmentManifest) -> _Worker:
-        parent_conn, child_conn = self._ctx.Pipe()
-        ordinal = self._next_ordinal
-        self._next_ordinal += 1
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, manifest),
-            name=f"{self._name_prefix}-replica-{ordinal}",
-            daemon=True,
-        )
-        process.start()
+        slabs: Optional[DispatchSlabs] = None
+        if self.transport == "slab":
+            slabs = create_slabs(
+                self._slab_request_bytes,
+                self._slab_response_bytes,
+                name_prefix=self._name_prefix,
+            )
+        try:
+            parent_conn, child_conn = self._ctx.Pipe()
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    manifest,
+                    None if slabs is None else slabs.manifest,
+                ),
+                name=f"{self._name_prefix}-replica-{ordinal}",
+                daemon=True,
+            )
+            process.start()
+        except Exception:
+            if slabs is not None:
+                slabs.unlink()
+            raise
         child_conn.close()  # the worker owns its end now
-        worker = _Worker(process, parent_conn, ordinal)
+        worker = _Worker(process, parent_conn, ordinal, slabs=slabs)
         try:
             self._expect_ready(worker, manifest, timeout=_SPAWN_TIMEOUT_S)
         except Exception:
@@ -329,7 +506,8 @@ class ProcReplicaPool:
             )
 
     def _retire(self, worker: _Worker) -> None:
-        """Hard-stop a dead or misbehaving worker's process + pipe."""
+        """Hard-stop a dead or misbehaving worker's process + pipe, and
+        reclaim its dispatch slabs."""
         try:
             if worker.process.is_alive():
                 worker.process.kill()
@@ -340,6 +518,12 @@ class ProcReplicaPool:
             worker.conn.close()
         except Exception:
             pass
+        slabs, worker.slabs = worker.slabs, None
+        if slabs is not None:
+            try:
+                slabs.unlink()
+            except Exception:
+                pass
 
     def _replace(self, worker: _Worker) -> _Worker:
         """Respawn a crashed worker from the current manifest.  Marks
@@ -388,6 +572,90 @@ class ProcReplicaPool:
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
+    @staticmethod
+    def _slab_batch(queries) -> Optional[np.ndarray]:
+        """The contiguous 2-D array a slab can carry, or ``None`` when
+        this payload must ride the pickle fallback (object dtypes,
+        ragged input the array constructor rejects)."""
+        try:
+            batch = np.ascontiguousarray(queries)
+        except Exception:
+            return None
+        if batch.ndim != 2 or batch.dtype.hasobject:
+            return None
+        return batch
+
+    def _grow_slabs(
+        self, worker: _Worker, need_request: int, need_response: int
+    ) -> None:
+        """Swap one worker's slab pair for a bigger one (the worker is
+        checked out, so nothing else touches its slabs).  Allocation
+        failures raise :class:`_SlabUnavailable` (the dispatch falls
+        back to pickle); a worker that cannot adopt the new slabs is
+        treated like a crash by the caller."""
+        old = worker.slabs
+        with self._lock:
+            self._slab_request_bytes = max(
+                self._slab_request_bytes, _slab_capacity(need_request)
+            )
+            self._slab_response_bytes = max(
+                self._slab_response_bytes, _slab_capacity(need_response)
+            )
+            new_request_bytes = self._slab_request_bytes
+            new_response_bytes = self._slab_response_bytes
+        try:
+            new = create_slabs(
+                new_request_bytes,
+                new_response_bytes,
+                name_prefix=self._name_prefix,
+            )
+        except Exception as exc:
+            raise _SlabUnavailable() from exc
+        try:
+            worker.conn.send(("reslab", new.manifest))
+            if not worker.conn.poll(_ATTACH_TIMEOUT_S):
+                raise _WorkerUnresponsive()
+            reply = worker.conn.recv()
+        except Exception:
+            new.unlink()
+            raise
+        if reply[0] != "slab_ready":
+            # attach_error (the worker already exited) or desync.
+            new.unlink()
+            raise _WorkerUnresponsive()
+        worker.slabs = new
+        if old is not None:
+            old.unlink()
+        with self._lock:
+            self.n_slab_grows += 1
+
+    def _dispatch_slab(self, worker: _Worker, batch: np.ndarray, k: int):
+        """Send one batch over the worker's slabs; returns the reply
+        tuple.  The caller translates worker-death exceptions."""
+        need_response = len(batch) * max(int(k), 1) * _RESULT_CELL_BYTES
+        if (
+            batch.nbytes > worker.slabs.manifest.request_bytes
+            or need_response > worker.slabs.manifest.response_bytes
+        ):
+            self._grow_slabs(worker, batch.nbytes, need_response)
+        view = np.frombuffer(
+            worker.slabs.request.buf, dtype=batch.dtype, count=batch.size
+        ).reshape(batch.shape)
+        view[...] = batch
+        del view
+        worker.conn.send(
+            (
+                "search_slab",
+                batch.shape,
+                batch.dtype.str,
+                k,
+                self.generation,
+            )
+        )
+        if not worker.conn.poll(self.search_timeout_s):
+            raise _WorkerUnresponsive()
+        return worker.conn.recv()
+
     def search(self, queries, k: int = 1) -> SearchOutcome:
         """Route one micro-batch to an idle worker; bit-identical to
         ``self.index.search(queries, k)``.
@@ -397,14 +665,21 @@ class ProcReplicaPool:
         worker crash mid-request respawns the worker and retries the
         batch on another replica.
         """
+        batch = (
+            self._slab_batch(queries) if self.transport == "slab" else None
+        )
         attempts = 0
         while True:
             worker = self._get_idle()
+            use_slab = batch is not None and worker.slabs is not None
             try:
-                worker.conn.send(("search", queries, k))
-                if not worker.conn.poll(self.search_timeout_s):
-                    raise _WorkerUnresponsive()
-                reply = worker.conn.recv()
+                if use_slab:
+                    try:
+                        reply = self._dispatch_slab(worker, batch, k)
+                    except _SlabUnavailable:
+                        reply = self._dispatch_pickle(worker, queries, k)
+                else:
+                    reply = self._dispatch_pickle(worker, queries, k)
             except (
                 BrokenPipeError,
                 EOFError,
@@ -421,9 +696,37 @@ class ProcReplicaPool:
                         f"search failed on {attempts} replicas in a row"
                     )
                 continue
+            if reply[0] == "ok_slab":
+                n, kk = reply[1]
+                # Copy out *before* the worker re-enters the idle
+                # queue: the very next dispatch reuses this slab.
+                ids = (
+                    np.frombuffer(
+                        worker.slabs.response.buf, dtype="<i8", count=n * kk
+                    )
+                    .reshape(n, kk)
+                    .copy()
+                )
+                distances = (
+                    np.frombuffer(
+                        worker.slabs.response.buf,
+                        dtype="<f8",
+                        count=n * kk,
+                        offset=n * kk * 8,
+                    )
+                    .reshape(n, kk)
+                    .copy()
+                )
+                worker.served += 1
+                self._idle.put(worker)
+                with self._lock:
+                    self.n_slab_dispatches += 1
+                return SearchOutcome(ids=ids, distances=distances)
             if reply[0] == "ok":
                 worker.served += 1
                 self._idle.put(worker)
+                with self._lock:
+                    self.n_pickle_fallbacks += 1
                 return SearchOutcome(ids=reply[1], distances=reply[2])
             if reply[0] == "error" and isinstance(reply[1], BaseException):
                 worker.served += 1
@@ -438,6 +741,14 @@ class ProcReplicaPool:
                 f"worker {worker.ordinal} sent an out-of-protocol "
                 f"reply {reply[:1]!r}; worker replaced"
             )
+
+    def _dispatch_pickle(self, worker: _Worker, queries, k: int):
+        """The original pickle-over-pipe dispatch (the ``transport=
+        "pickle"`` path and the slab fallback)."""
+        worker.conn.send(("search", queries, k))
+        if not worker.conn.poll(self.search_timeout_s):
+            raise _WorkerUnresponsive()
+        return worker.conn.recv()
 
     # ------------------------------------------------------------------
     # Write propagation

@@ -156,6 +156,21 @@ class FerexServer:
             "n_deadline_drops",
             lambda: self._coalescer.n_deadline_drops,
         )
+        # Dispatch-transport counters: how many pooled micro-batches
+        # rode the shared-memory slabs vs the pickle pipe (both read 0
+        # on an unpooled server, so /metrics always carries the keys).
+        self.stats.register_gauge(
+            "n_slab_dispatches",
+            lambda: (
+                0 if self._pool is None else self._pool.n_slab_dispatches
+            ),
+        )
+        self.stats.register_gauge(
+            "n_pickle_fallbacks",
+            lambda: (
+                0 if self._pool is None else self._pool.n_pickle_fallbacks
+            ),
+        )
         self._coalescer = RequestCoalescer(
             self._dispatch,
             max_batch_size=max_batch_size,

@@ -125,6 +125,102 @@ class AttachedSegments:
                 pass
 
 
+@dataclass(frozen=True)
+class SlabManifest:
+    """Names + byte capacities of one worker's dispatch slab pair.
+
+    Plain picklable data, like :class:`SegmentManifest` — it travels to
+    the worker as a spawn argument and over the pipe on re-slab.
+    """
+
+    request_name: str
+    response_name: str
+    request_bytes: int
+    response_bytes: int
+
+
+@dataclass
+class DispatchSlabs:
+    """One worker's request/response slab pair (either side's handle).
+
+    The parent owns the blocks (creates and unlinks); the worker only
+    attaches and closes.  Unlike index segments the slabs are mutable
+    scratch — the pipe's strict request/reply alternation is what keeps
+    the two sides from ever writing the same slab concurrently.
+    """
+
+    manifest: SlabManifest
+    request: shared_memory.SharedMemory
+    response: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        """Unmap this process's views.  Callers drop their numpy views
+        first; a still-exported buffer keeps its mapping alive rather
+        than crashing the process."""
+        for block in (self.request, self.response):
+            try:
+                block.close()
+            except BufferError:
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the named blocks (parent side, on retire/grow)."""
+        self.close()
+        for block in (self.request, self.response):
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def create_slabs(
+    request_bytes: int,
+    response_bytes: int,
+    name_prefix: str = "ferex",
+) -> DispatchSlabs:
+    """Allocate one collision-proof request/response slab pair.
+
+    Capacities are floored at one byte (``SharedMemory`` rejects zero)
+    and reported as the OS actually granted them (page-rounded), so the
+    overflow check upstream keys off real capacity."""
+    token = f"{name_prefix}-slab-{os.getpid()}-{secrets.token_hex(4)}"
+    request = shared_memory.SharedMemory(
+        name=f"{token}-req", create=True, size=max(1, int(request_bytes))
+    )
+    try:
+        response = shared_memory.SharedMemory(
+            name=f"{token}-resp",
+            create=True,
+            size=max(1, int(response_bytes)),
+        )
+    except Exception:
+        request.close()
+        request.unlink()
+        raise
+    manifest = SlabManifest(
+        request_name=request.name,
+        response_name=response.name,
+        request_bytes=request.size,
+        response_bytes=response.size,
+    )
+    return DispatchSlabs(
+        manifest=manifest, request=request, response=response
+    )
+
+
+def attach_slabs(manifest: SlabManifest) -> DispatchSlabs:
+    """Map a slab pair published by the parent (worker side)."""
+    request = shared_memory.SharedMemory(name=manifest.request_name)
+    try:
+        response = shared_memory.SharedMemory(name=manifest.response_name)
+    except Exception:
+        request.close()
+        raise
+    return DispatchSlabs(
+        manifest=manifest, request=request, response=response
+    )
+
+
 def publish_index(
     index: FerexIndex, name_prefix: str = "ferex"
 ) -> PublishedSegments:

@@ -296,6 +296,67 @@ class TestPersistence:
         assert backend.centroids.max() <= 1
 
 
+class TestSubCodeHoisting:
+    """Query quantisation is hoisted out of the per-cluster loop: one
+    ``_sub_codes`` call per search/shortlist, however many clusters the
+    probe plan touches — and the answers stay bit-identical to an
+    unhoisted per-cluster re-encode (slicing a precomputed table of an
+    elementwise code is the same rows)."""
+
+    @staticmethod
+    def _count_calls(backend):
+        calls = []
+        original = backend._sub_codes
+
+        def counted(queries):
+            calls.append(np.asarray(queries).shape)
+            return original(queries)
+
+        backend._sub_codes = counted
+        return calls
+
+    def test_search_quantises_once_per_batch(self, rng):
+        index = _routed(_clustered(rng, 150), n_clusters=5, top_p=3)
+        queries = _clustered(rng, 12)
+        calls = self._count_calls(index.backend)
+        index.search(queries, k=4)
+        assert calls == [queries.shape]
+
+    def test_tiered_search_quantises_once_per_batch(self, rng):
+        index = _routed(
+            _clustered(rng, 150),
+            n_clusters=5,
+            top_p=3,
+            inner="tiered",
+            coarse_bits=1,
+        )
+        queries = _clustered(rng, 12)
+        calls = self._count_calls(index.backend)
+        index.search(queries, k=4)
+        assert calls == [queries.shape]
+
+    def test_shortlist_quantises_once_per_batch(self, rng):
+        index = _routed(_clustered(rng, 150), n_clusters=5, top_p=3)
+        queries = _clustered(rng, 12)
+        calls = self._count_calls(index.backend)
+        index.backend.shortlist(queries, 6)
+        assert calls == [queries.shape]
+
+    def test_hoisted_slices_match_per_row_codes(self, rng):
+        """The invariant the hoist rests on: slicing the batch code
+        table equals encoding the slice."""
+        index = _routed(
+            _clustered(rng, 80), n_clusters=4, inner="tiered"
+        )
+        backend = index.backend
+        queries = _clustered(rng, 10)
+        table = backend._sub_codes(queries)
+        for rows in (np.array([0, 3, 7]), np.arange(10)):
+            assert np.array_equal(
+                table[rows], backend._sub_codes(queries[rows])
+            )
+
+
 def _flatten(state):
     meta, arrays = state
     return meta, arrays["vectors"], arrays["ids"], arrays["alive"]

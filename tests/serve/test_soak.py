@@ -13,7 +13,10 @@ unit suites check one at a time all hold *together* over time:
   to anything else.
 
 Budget: ``FEREX_SOAK_REQUESTS`` (default 400 — the quick profile CI's
-tier-1 matrix runs; raise it for a real soak, e.g. ``=20000``).
+tier-1 matrix runs; raise it for a real soak, e.g. ``=20000``).  The
+pooled soak dispatches over ``FEREX_POOL_TRANSPORT`` (default
+``slab``; nightly also runs the ``pickle`` leg to keep the fallback
+honest).
 """
 
 import asyncio
@@ -22,11 +25,12 @@ import os
 import numpy as np
 import pytest
 
-from repro.serve import FerexServer
+from repro.serve import FerexServer, ProcReplicaPool
 
 pytestmark = pytest.mark.slow
 
 BUDGET = int(os.environ.get("FEREX_SOAK_REQUESTS", "400"))
+TRANSPORT = os.environ.get("FEREX_POOL_TRANSPORT", "slab")
 READS_PER_ROUND = 16
 DIMS = 8
 BITS = 2
@@ -127,5 +131,64 @@ def test_mixed_read_write_soak(make_index, queries):
         snap = server.stats.snapshot()
         assert snap["n_errors"] == 0
         assert snap["n_requests"] >= served
+
+    asyncio.run(main())
+
+
+def test_pooled_read_write_soak(make_index, queries):
+    """The pooled leg: sustained reads over the process pool's
+    configured dispatch transport (``FEREX_POOL_TRANSPORT``) with
+    interleaved writes republishing through the primary.  Every answer
+    must match a fresh direct search and the transport counters must
+    show the traffic rode the transport under test."""
+    # The pooled soak shares the tier-1 budget but dispatches remotely,
+    # so run a quarter of it — still hundreds of pooled round-trips at
+    # the nightly budget.
+    budget = max(BUDGET // 4, 100)
+
+    async def main():
+        index = make_index()
+        with ProcReplicaPool(
+            index, n_workers=2, transport=TRANSPORT
+        ) as pool:
+            server = FerexServer(
+                pool=pool, max_batch_size=8, max_wait_ms=1.0, cache_size=0
+            )
+            wave_rng = np.random.default_rng(777)
+            served = 0
+            round_no = 0
+            async with server:
+                while served < budget:
+                    round_no += 1
+                    picks = wave_rng.integers(
+                        0, len(queries), size=READS_PER_ROUND
+                    )
+                    batch = np.asarray(queries)[picks]
+                    k = int(wave_rng.integers(1, 4))
+                    outcome = await server.search_many(batch, k=k)
+                    direct = index.search(batch, k=k)
+                    assert np.array_equal(outcome.ids, direct.ids)
+                    assert np.array_equal(
+                        outcome.distances, direct.distances
+                    )
+                    served += READS_PER_ROUND
+
+                    if round_no % 3 == 0:
+                        fresh = wave_rng.integers(
+                            0, 1 << BITS, size=(2, DIMS)
+                        )
+                        await server.add(fresh)
+                        assert pool.generation == index.write_generation
+
+            snap = pool.snapshot()
+            dispatched = (
+                snap["n_slab_dispatches"] + snap["n_pickle_fallbacks"]
+            )
+            assert dispatched >= round_no
+            if TRANSPORT == "slab":
+                assert snap["n_slab_dispatches"] >= round_no
+            else:
+                assert snap["n_slab_dispatches"] == 0
+            assert not pool.broken
 
     asyncio.run(main())

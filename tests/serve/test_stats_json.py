@@ -92,6 +92,10 @@ def test_live_server_snapshot_round_trips(make_index, queries):
             assert snap["n_deadline_drops"] == 0
             assert snap["coalescer_ewma_service_s"] >= 0.0
             assert snap["coalescer_ewma_gap_s"] >= 0.0
+            # Transport counters are registered even without a pool
+            # (and read as plain zero ints).
+            assert snap["n_slab_dispatches"] == 0
+            assert snap["n_pickle_fallbacks"] == 0
             # The cache section carries both accounting eras and the
             # live policy state, all JSON-plain.
             cache = snap["cache"]
